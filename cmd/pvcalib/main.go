@@ -1,0 +1,103 @@
+// Command pvcalib prints the calibration dashboard used to tune the
+// synthetic workloads against the paper's reported behaviour: per workload,
+// the baseline miss rate and L2 hit fraction, the Figure 4 coverage points,
+// the Figure 6 L2-request increase, the PVProxy hit/fill rates, and the
+// Figure 9 timing speedups for SMS 1K-11a and PV-8.
+//
+// Usage: pvcalib [-scale f] [-seed n]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"pvsim/internal/memsys"
+	"pvsim/internal/report"
+	"pvsim/internal/sim"
+	"pvsim/internal/workloads"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "access-count multiplier")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	measure := int(float64(sim.DefaultScale) * *scale)
+	if measure < 1000 {
+		fmt.Fprintln(os.Stderr, "pvcalib: scale too small")
+		os.Exit(1)
+	}
+
+	ws := workloads.All()
+	rows := make([][]string, len(ws))
+	var wg sync.WaitGroup
+	for wi, w := range ws {
+		wi, w := wi, w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := sim.Default(w)
+			cfg.Seed = *seed
+			cfg.Measure = measure
+			cfg.Warmup = measure
+			base := cfg
+			base.Prefetch = sim.Baseline
+			bres := sim.Run(base)
+
+			row := []string{
+				w.Name,
+				fmt.Sprintf("%.3f", float64(bres.L1DReadMisses())/float64(bres.L1DReads())),
+				fmt.Sprintf("%.2f", float64(bres.Mem.L2Hits[memsys.Load])/float64(bres.Mem.L2Requests[memsys.Load])),
+			}
+
+			var ref sim.Result
+			for _, pc := range []sim.PrefetcherConfig{sim.SMSInfinite, sim.SMS1K11, sim.SMS16, sim.SMS8, sim.PV8} {
+				c := cfg
+				c.Prefetch = pc
+				res := sim.Run(c)
+				if pc == sim.SMS1K11 {
+					ref = res
+				}
+				cov := sim.CoverageOf(bres, res)
+				row = append(row, fmt.Sprintf("%.1f/%.1f", cov.Covered*100, cov.Overpredicted*100))
+			}
+
+			cpv := cfg
+			cpv.Prefetch = sim.PV8
+			pvres := sim.Run(cpv)
+			pxy := pvres.ProxyTotals()
+			row = append(row,
+				fmt.Sprintf("%.1f%%", (float64(pvres.Mem.L2RequestsTotal())/float64(ref.Mem.L2RequestsTotal())-1)*100),
+				fmt.Sprintf("%.2f", pxy.L2FillRate()))
+
+			tb := cfg
+			tb.Timing = true
+			tb.Windows = 20
+			tb.Prefetch = sim.Baseline
+			tbase := sim.Run(tb)
+			for _, pc := range []sim.PrefetcherConfig{sim.SMS1K11, sim.PV8} {
+				tc := tb
+				tc.Prefetch = pc
+				iv, err := sim.SpeedupOver(tbase, sim.Run(tc))
+				if err != nil {
+					row = append(row, "n/a")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%+.1f%%", (iv.Mean-1)*100))
+			}
+			rows[wi] = row
+		}()
+	}
+	wg.Wait()
+
+	t := report.NewTable("Workload", "missRate", "L2hit",
+		"Inf cov/ovr", "1K-11", "16-11", "8-11", "PV-8",
+		"ΔL2req", "L2fill", "spd 1K", "spd PV8")
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	fmt.Print(t.Text())
+	fmt.Println("\ncov/ovr = % of baseline L1 read misses covered / overpredicted")
+}

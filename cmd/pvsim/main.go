@@ -1,0 +1,117 @@
+// Command pvsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	pvsim [flags] list                 # show available experiments
+//	pvsim [flags] fig4 [fig6 ...]      # run specific experiments
+//	pvsim [flags] all                  # run everything, in paper order
+//
+// Flags:
+//
+//	-scale f    access-count multiplier (1.0 = default scale)
+//	-seed n     workload generator seed
+//	-format s   text | md | csv
+//	-o file     write output to file instead of stdout
+//	-v          log per-run progress to stderr
+//	-p n        max parallel simulations (default GOMAXPROCS)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pvsim/internal/experiments"
+	"pvsim/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pvsim", flag.ContinueOnError)
+	scale := fs.Float64("scale", 1.0, "access-count multiplier")
+	seed := fs.Uint64("seed", 42, "workload generator seed")
+	format := fs.String("format", "text", "output format: text|md|csv")
+	outFile := fs.String("o", "", "output file (default stdout)")
+	verbose := fs.Bool("v", false, "log per-run progress")
+	parallel := fs.Int("p", 0, "max parallel simulations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no experiment given; try 'pvsim list'")
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	if *verbose {
+		opts.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+
+	out := stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	var ids []string
+	for _, a := range fs.Args() {
+		switch a {
+		case "list":
+			for _, e := range experiments.All() {
+				fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
+			}
+			return nil
+		case "all":
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		default:
+			ids = append(ids, a)
+		}
+	}
+
+	runner := experiments.NewRunner(opts)
+	for _, id := range ids {
+		e, err := experiments.ByID(id)
+		if err != nil {
+			return err
+		}
+		doc := e.Run(runner)
+		if err := emit(out, doc, *format); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func emit(w io.Writer, doc *report.Doc, format string) error {
+	switch format {
+	case "text":
+		_, err := io.WriteString(w, doc.Text())
+		return err
+	case "md":
+		_, err := io.WriteString(w, doc.Markdown())
+		return err
+	case "csv":
+		for _, s := range doc.Sections {
+			if s.Table != nil {
+				if _, err := fmt.Fprintf(w, "# %s %s\n%s", doc.ID, s.Heading, s.Table.CSV()); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q (want text|md|csv)", format)
+	}
+}

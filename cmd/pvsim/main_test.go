@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table1", "fig4", "fig11", "space"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunStaticExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.01", "table3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "59.125KB") {
+		t.Errorf("table3 output:\n%s", out.String())
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "md", "space"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "## space") {
+		t.Errorf("markdown output:\n%s", out.String())
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-format", "csv", "table3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Configuration,Tags") {
+		t.Errorf("csv output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := run([]string{"not-an-experiment"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-format", "xml", "table3"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Oracle") {
+		t.Errorf("list output:\n%s", out.String())
+	}
+}
+
+func TestRecordAndInspect(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "t.pva")
+	var out bytes.Buffer
+	if err := run([]string{"-record", "-workload", "Qry1", "-n", "5000", "-o", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(file); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", file}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "accesses:        5000") {
+		t.Errorf("inspect output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-record"}, &out); err == nil {
+		t.Error("record without -o accepted")
+	}
+	if err := run([]string{"-record", "-workload", "nope", "-o", "/tmp/x"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-inspect", "/does/not/exist"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,71 @@
+// Custom workload: define your own access-stream parameters and measure
+// how SMS coverage responds to PHT size, reproducing a personal Figure 4.
+//
+// The workload modeled here is a streaming analytics kernel: few trigger
+// contexts, dense and highly stable spatial patterns, moderate one-off
+// noise — the regime where even tiny pattern tables work and
+// virtualization's benefit is headroom rather than rescue.
+//
+// Run with: go run ./examples/custom_workload
+package main
+
+import (
+	"fmt"
+
+	"pvsim/internal/report"
+	"pvsim/internal/sim"
+	"pvsim/internal/trace"
+	"pvsim/internal/workloads"
+)
+
+func main() {
+	w := workloads.Workload{
+		Name:        "Analytics",
+		Class:       "custom",
+		Description: "streaming aggregation over column chunks",
+		Params: trace.Params{
+			Name:            "Analytics",
+			BlockBytes:      64,
+			RegionBlocks:    32,
+			NumPCs:          96, // a handful of hot scan loops
+			PCZipf:          0.5,
+			RegionPool:      20000, // 40MB column data per core
+			RegionZipf:      0.3,   // streaming: weak reuse
+			PatternDensity:  0.7,   // dense chunk scans
+			PatternNoise:    0.02,
+			NoiseFrac:       0.6, // dictionary lookups etc.
+			BlockRepeat:     4,
+			ActiveEpisodes:  6,
+			WriteFrac:       0.05,
+			SharedFrac:      0.02,
+			SharedWriteFrac: 0.1,
+			MemRatio:        0.4,
+			MLP:             8,
+		},
+	}
+	if err := w.Params.Validate(); err != nil {
+		panic(err)
+	}
+
+	base := sim.Default(w)
+	base.Warmup, base.Measure = 150_000, 150_000
+	baseline := sim.Run(base)
+
+	table := report.NewTable("PHT", "Covered", "Uncovered", "Overpred", "coverage (full scale 100%)")
+	for _, pc := range []sim.PrefetcherConfig{
+		sim.SMSInfinite, sim.SMS1K11, sim.DedicatedSized(64), sim.SMS16, sim.SMS8, sim.PV8,
+	} {
+		cfg := base
+		cfg.Prefetch = pc
+		cov := sim.CoverageOf(baseline, sim.Run(cfg))
+		table.AddRow(cov.Label, report.Pct(cov.Covered), report.Pct(cov.Uncovered),
+			report.Pct(cov.Overpredicted), report.Bar(cov.Covered, 1.0, 40))
+	}
+
+	fmt.Println("Custom workload: streaming analytics kernel")
+	fmt.Printf("baseline: %d L1 read misses over %d reads\n\n",
+		baseline.L1DReadMisses(), baseline.L1DReads())
+	fmt.Print(table.Text())
+	fmt.Println("\nDense stable patterns -> even small PHTs retain most coverage, and")
+	fmt.Println("PV-8 matches the 1K-set table with <1KB of dedicated on-chip state.")
+}

@@ -1,0 +1,60 @@
+// Shared PVTable: §2.1's alternative organization where "multiple cores can
+// share the same virtualized PVTable" instead of each reserving its own
+// chunk of physical memory.
+//
+// This example runs the virtualized SMS prefetcher both ways on the same
+// workload and compares coverage, PV memory traffic and reserved memory.
+// With a shared table, cores see each other's patterns (useful when threads
+// of one application run the same code) and reserve 4x less memory; the
+// trade-off is potential cross-core interference in the pattern sets.
+//
+// Run with: go run ./examples/shared_table
+package main
+
+import (
+	"fmt"
+
+	"pvsim/internal/memsys"
+	"pvsim/internal/sim"
+	"pvsim/internal/workloads"
+)
+
+func main() {
+	w, err := workloads.ByName("Apache")
+	if err != nil {
+		panic(err)
+	}
+
+	base := sim.Default(w)
+	base.Warmup, base.Measure = 150_000, 150_000
+	baseline := sim.Run(base)
+
+	perCore := base
+	perCore.Prefetch = sim.PV8
+	perCoreRes := sim.Run(perCore)
+
+	shared := base
+	shared.Prefetch = sim.PV8
+	shared.Prefetch.SharedTable = true
+	sharedRes := sim.Run(shared)
+
+	tableBytes := 1024 * 64 // 1K sets x 64B
+	fmt.Println("Per-core vs shared PVTable (§2.1), virtualized SMS on Apache")
+	fmt.Printf("%-26s %14s %14s\n", "", "per-core", "shared")
+	covP := sim.CoverageOf(baseline, perCoreRes)
+	covS := sim.CoverageOf(baseline, sharedRes)
+	fmt.Printf("%-26s %13.1f%% %13.1f%%\n", "miss coverage", covP.Covered*100, covS.Covered*100)
+	fmt.Printf("%-26s %12dKB %12dKB\n", "reserved main memory",
+		4*tableBytes/1024, tableBytes/1024)
+	pp, ps := perCoreRes.ProxyTotals(), sharedRes.ProxyTotals()
+	fmt.Printf("%-26s %14d %14d\n", "PVProxy fetches", pp.Fetches, ps.Fetches)
+	fmt.Printf("%-26s %13.1f%% %13.1f%%\n", "fetches filled by L2", pp.L2FillRate()*100, ps.L2FillRate()*100)
+	fmt.Printf("%-26s %14d %14d\n", "PV off-chip reads",
+		perCoreRes.Mem.OffChipReads[memsys.ClassPV], sharedRes.Mem.OffChipReads[memsys.ClassPV])
+	fmt.Printf("%-26s %14d %14d\n", "PV off-chip writes",
+		perCoreRes.Mem.OffChipWrites[memsys.ClassPV], sharedRes.Mem.OffChipWrites[memsys.ClassPV])
+
+	fmt.Println("\nWith threads of one application on all four cores, the shared table")
+	fmt.Println("reaches comparable coverage from a quarter of the reserved memory, and")
+	fmt.Println("its hotter blocks concentrate better in the L2.")
+}

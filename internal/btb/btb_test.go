@@ -1,0 +1,246 @@
+package btb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pvsim/internal/core"
+	"pvsim/internal/memsys"
+)
+
+type countBackend struct {
+	reads, writes int
+}
+
+func (b *countBackend) Read(memsys.Addr) memsys.Result {
+	b.reads++
+	return memsys.Result{Level: memsys.LevelL2, Latency: 12}
+}
+func (b *countBackend) Write(memsys.Addr) memsys.Result {
+	b.writes++
+	return memsys.Result{Level: memsys.LevelL2, Latency: 12}
+}
+
+func newVirt(t *testing.T, sets int) (*Virtualized, *countBackend) {
+	t.Helper()
+	be := &countBackend{}
+	return NewVirtualized(DefaultConfig(sets), core.DefaultProxyConfig("btb"), 0xF0000000, 64, be), be
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(512).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Sets: 0, Ways: 4, TagBits: 16, TargetBits: 32},
+		{Sets: 3, Ways: 4, TagBits: 16, TargetBits: 32},
+		{Sets: 16, Ways: 0, TagBits: 16, TargetBits: 32},
+		{Sets: 16, Ways: 4, TagBits: 0, TargetBits: 32},
+		{Sets: 16, Ways: 4, TagBits: 16, TargetBits: 64},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestStorageBytes(t *testing.T) {
+	// 512 sets x 4 ways x 48 bits = 12KB.
+	if got := DefaultConfig(512).StorageBytes(); got != 12288 {
+		t.Errorf("StorageBytes = %v, want 12288", got)
+	}
+}
+
+func TestDedicatedLookupUpdate(t *testing.T) {
+	b := NewDedicated(DefaultConfig(16))
+	pc, target := memsys.Addr(0x4000), memsys.Addr(0x8888)
+	if _, _, ok := b.Lookup(0, pc); ok {
+		t.Fatal("hit in empty BTB")
+	}
+	b.Update(0, pc, target)
+	got, _, ok := b.Lookup(0, pc)
+	if !ok || got != target {
+		t.Fatalf("Lookup = (%#x, %v)", uint64(got), ok)
+	}
+	if b.Stats.Hits != 1 || b.Stats.Lookups != 2 {
+		t.Errorf("stats = %+v", b.Stats)
+	}
+}
+
+func TestDedicatedLRU(t *testing.T) {
+	cfg := Config{Sets: 4, Ways: 2, TagBits: 16, TargetBits: 32}
+	b := NewDedicated(cfg)
+	// Three PCs in the same set (stride 4 sets x 4 bytes).
+	pcs := []memsys.Addr{0x1000, 0x1000 + 4*4, 0x1000 + 8*4}
+	b.Update(0, pcs[0], 0x10)
+	b.Update(0, pcs[1], 0x20)
+	b.Lookup(0, pcs[0]) // pcs[0] MRU
+	b.Update(0, pcs[2], 0x30)
+	if _, _, ok := b.Lookup(0, pcs[1]); ok {
+		t.Error("LRU way survived")
+	}
+	if _, _, ok := b.Lookup(0, pcs[0]); !ok {
+		t.Error("MRU way evicted")
+	}
+}
+
+func TestSetCodecRoundTripQuick(t *testing.T) {
+	cfg := DefaultConfig(1024)
+	codec, err := NewSetCodec(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := func(tags [4]uint16, targets [4]uint32, valid uint8, victim uint8) bool {
+		s := Set{Tags: make([]uint32, 4), Targets: make([]uint64, 4), Valid: make([]bool, 4), Victim: victim % 16}
+		for i := 0; i < 4; i++ {
+			s.Tags[i] = uint32(tags[i])
+			s.Targets[i] = uint64(targets[i])
+			s.Valid[i] = valid&(1<<uint(i)) != 0
+		}
+		buf := make([]byte, 64)
+		codec.Pack(s, buf)
+		got := codec.Unpack(buf)
+		if got.Victim != s.Victim {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if got.Tags[i] != s.Tags[i] || got.Targets[i] != s.Targets[i] || got.Valid[i] != s.Valid[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	// Zero-is-empty law.
+	empty := codec.Unpack(make([]byte, 64))
+	for i := 0; i < 4; i++ {
+		if empty.Valid[i] {
+			t.Fatal("zero block decoded to valid entries")
+		}
+	}
+}
+
+func TestSetCodecRejectsOversize(t *testing.T) {
+	cfg := Config{Sets: 16, Ways: 16, TagBits: 16, TargetBits: 32}
+	if _, err := NewSetCodec(cfg, 64); err == nil {
+		t.Fatal("16 ways x 49 bits accepted in 64B block")
+	}
+}
+
+func TestVirtualizedBasic(t *testing.T) {
+	v, be := newVirt(t, 1024)
+	pc, target := memsys.Addr(0x4_0000_0000), memsys.Addr(0x1234)
+	v.Update(0, pc, target)
+	got, _, ok := v.Lookup(0, pc)
+	if !ok || got != target {
+		t.Fatalf("Lookup = (%#x, %v)", uint64(got), ok)
+	}
+	if be.reads == 0 {
+		t.Error("no PV fetch issued")
+	}
+}
+
+func TestVirtualizedSurvivesSpills(t *testing.T) {
+	v, be := newVirt(t, 256)
+	// Touch far more sets than the 8-entry PVCache holds.
+	for i := 0; i < 200; i++ {
+		v.Update(0, pcOf(i*7), memsys.Addr(uint64(i)*64+4))
+	}
+	if be.writes == 0 {
+		t.Fatal("no PVCache writebacks despite overflow")
+	}
+	for i := 0; i < 200; i++ {
+		got, _, ok := v.Lookup(0, pcOf(i*7))
+		if !ok || got != memsys.Addr(uint64(i)*64+4) {
+			t.Fatalf("site %d: got (%#x, %v)", i, uint64(got), ok)
+		}
+	}
+}
+
+// TestVirtualizedMatchesDedicatedQuick: below way-overflow, virtualized and
+// dedicated BTBs of equal geometry answer identically.
+func TestVirtualizedMatchesDedicatedQuick(t *testing.T) {
+	fn := func(ops []uint32) bool {
+		be := &countBackend{}
+		cfg := DefaultConfig(256)
+		v := NewVirtualized(cfg, core.DefaultProxyConfig("btb"), 0xF0000000, 64, be)
+		d := NewDedicated(cfg)
+		for i, op := range ops {
+			pc := memsys.Addr(0x4_0000_0000) + memsys.Addr(op%4096)*4
+			if i%2 == 0 {
+				target := memsys.Addr(op | 4)
+				v.Update(0, pc, target)
+				d.Update(0, pc, target)
+			} else {
+				vt, _, vok := v.Lookup(0, pc)
+				dt, _, dok := d.Lookup(0, pc)
+				if vok != dok || vt != dt {
+					t.Logf("pc %#x: virt (%#x,%v) ded (%#x,%v)", uint64(pc), uint64(vt), vok, uint64(dt), dok)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p := DefaultStreamParams()
+	a, b := NewStream(p, 9), NewStream(p, 9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	p := DefaultStreamParams()
+	p.Sites = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero sites accepted")
+	}
+	p = DefaultStreamParams()
+	p.FlipProb = 2
+	if err := p.Validate(); err == nil {
+		t.Error("bad flip probability accepted")
+	}
+}
+
+// TestHitRateOrdering is the §6 claim in miniature: small dedicated BTB <<
+// large dedicated ≈ large virtualized.
+func TestHitRateOrdering(t *testing.T) {
+	p := StreamParams{Sites: 8000, Zipf: 0.6, RunLength: 4, FlipProb: 0}
+	const n = 60_000
+
+	small := Measure(NewDedicated(DefaultConfig(64)), p, 5, n)
+	large := Measure(NewDedicated(DefaultConfig(4096)), p, 5, n)
+	be := &countBackend{}
+	virt := Measure(NewVirtualized(DefaultConfig(4096), core.DefaultProxyConfig("btb"), 0xF0000000, 64, be), p, 5, n)
+
+	if small >= large {
+		t.Errorf("small BTB %.3f >= large %.3f", small, large)
+	}
+	if diff := large - virt; diff > 0.02 || diff < -0.02 {
+		t.Errorf("virtualized %.3f differs from large dedicated %.3f by more than 2%%", virt, large)
+	}
+	if large < 0.5 {
+		t.Errorf("large BTB hit rate %.3f implausibly low", large)
+	}
+}
+
+func TestMeasureRespectsFlips(t *testing.T) {
+	p := StreamParams{Sites: 100, Zipf: 0.3, RunLength: 2, FlipProb: 0.5}
+	hit := Measure(NewDedicated(DefaultConfig(4096)), p, 3, 20_000)
+	perfect := Measure(NewDedicated(DefaultConfig(4096)),
+		StreamParams{Sites: 100, Zipf: 0.3, RunLength: 2, FlipProb: 0}, 3, 20_000)
+	if hit >= perfect {
+		t.Errorf("flips did not reduce hit rate: %.3f >= %.3f", hit, perfect)
+	}
+}

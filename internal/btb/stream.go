@@ -1,0 +1,109 @@
+package btb
+
+import (
+	"fmt"
+
+	"pvsim/internal/memsys"
+	"pvsim/internal/trace"
+)
+
+// StreamParams shapes a synthetic branch stream: Zipf-hot branch sites
+// visited in short straight-line runs (loop bodies), each site with a
+// stable target. The run structure gives the spatial locality §6 predicts
+// virtualized BTBs exploit — neighbouring branch PCs share PVTable blocks.
+type StreamParams struct {
+	// Sites is the number of distinct branch PCs.
+	Sites int
+	// Zipf skews site reuse.
+	Zipf float64
+	// RunLength is how many consecutive branch sites one visit walks.
+	RunLength int
+	// FlipProb is the probability a site's target differs this visit
+	// (indirect-branch behaviour; caps the achievable hit rate).
+	FlipProb float64
+}
+
+// DefaultStreamParams models a large server-code branch footprint.
+func DefaultStreamParams() StreamParams {
+	return StreamParams{Sites: 40_000, Zipf: 0.7, RunLength: 4, FlipProb: 0.02}
+}
+
+// Validate checks the parameters.
+func (p StreamParams) Validate() error {
+	if p.Sites <= 0 || p.RunLength <= 0 {
+		return fmt.Errorf("btb: non-positive stream geometry %+v", p)
+	}
+	if p.Zipf < 0 || p.FlipProb < 0 || p.FlipProb > 1 {
+		return fmt.Errorf("btb: stream probabilities out of range %+v", p)
+	}
+	return nil
+}
+
+// Branch is one resolved branch of the stream.
+type Branch struct {
+	PC     memsys.Addr
+	Target memsys.Addr
+}
+
+// Stream generates a deterministic branch trace.
+type Stream struct {
+	p    StreamParams
+	rng  *trace.RNG
+	zipf *trace.Zipf
+	run  int
+	site int
+}
+
+// NewStream builds a stream; same (params, seed) replays identically.
+func NewStream(p StreamParams, seed uint64) *Stream {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Stream{p: p, rng: trace.NewRNG(seed), zipf: trace.NewZipf(p.Sites, p.Zipf)}
+}
+
+// pcOf returns the instruction address of branch site i (4-byte spaced,
+// above the data windows).
+func pcOf(i int) memsys.Addr { return 0x4_0000_0000 + memsys.Addr(i)*4 }
+
+// targetOf is the canonical target of a site: a stable pure function, so
+// re-learned entries predict correctly.
+func targetOf(i int) memsys.Addr {
+	h := uint64(i) * 0x9E3779B97F4A7C15
+	return memsys.Addr(h & 0xFFFF_FFFC)
+}
+
+// Next returns the next resolved branch.
+func (s *Stream) Next() Branch {
+	if s.run == 0 {
+		s.site = s.zipf.Sample(s.rng)
+		s.run = 1 + s.rng.Intn(s.p.RunLength)
+	}
+	i := s.site
+	s.site++
+	if s.site >= s.p.Sites {
+		s.site = 0
+	}
+	s.run--
+
+	t := targetOf(i)
+	if s.rng.Bool(s.p.FlipProb) {
+		t ^= 0x40 // transiently different target
+	}
+	return Branch{PC: pcOf(i), Target: t}
+}
+
+// Measure drives a predictor with n branches of the stream and returns its
+// hit rate (correct-target predictions / lookups).
+func Measure(pred Predictor, p StreamParams, seed uint64, n int) float64 {
+	s := NewStream(p, seed)
+	correct := 0
+	for i := 0; i < n; i++ {
+		br := s.Next()
+		if got, _, ok := pred.Lookup(uint64(i), br.PC); ok && got == br.Target {
+			correct++
+		}
+		pred.Update(uint64(i), br.PC, br.Target)
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,72 @@
+package core
+
+// Codec converts between the decoded form S of one predictor set and the
+// packed bytes stored in the memory system. Implementations must satisfy
+// two laws, which the property tests in this package check for every codec
+// the repository ships:
+//
+//  1. Round trip: Unpack(Pack(s)) is semantically equal to s.
+//  2. Zero is empty: Unpack(make([]byte, BlockBytes())) is an empty set
+//     (no valid entries). This makes an untouched PVTable slot read back
+//     as "predictor miss", matching hardware that never initializes the
+//     reserved physical range.
+type Codec[S any] interface {
+	// BlockBytes is the packed size; it must equal the memory system's
+	// cache block size so one request moves one predictor set.
+	BlockBytes() int
+
+	// Pack serializes s into dst, which has exactly BlockBytes bytes and
+	// arrives zeroed.
+	Pack(s S, dst []byte)
+
+	// Unpack deserializes a packed set.
+	Unpack(src []byte) S
+}
+
+// BitWriter packs bit fields little-endian-within-bytes into a byte slice;
+// predictor codecs use it to lay entries out exactly as Figure 3a does
+// (11 entries x 43 bits leaves trailing unused bits in a 64-byte block).
+type BitWriter struct {
+	buf []byte
+	pos uint // bit cursor
+}
+
+// NewBitWriter wraps buf, starting at bit 0.
+func NewBitWriter(buf []byte) *BitWriter { return &BitWriter{buf: buf} }
+
+// Write appends the low n bits of v (n <= 64) at the cursor.
+func (w *BitWriter) Write(v uint64, n uint) {
+	for i := uint(0); i < n; i++ {
+		if v&(1<<i) != 0 {
+			w.buf[w.pos>>3] |= 1 << (w.pos & 7)
+		}
+		w.pos++
+	}
+}
+
+// Pos returns the bit cursor.
+func (w *BitWriter) Pos() uint { return w.pos }
+
+// BitReader is the matching reader for BitWriter.
+type BitReader struct {
+	buf []byte
+	pos uint
+}
+
+// NewBitReader wraps buf, starting at bit 0.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// Read consumes n bits (n <= 64) and returns them in the low bits.
+func (r *BitReader) Read(n uint) uint64 {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		if r.buf[r.pos>>3]&(1<<(r.pos&7)) != 0 {
+			v |= 1 << i
+		}
+		r.pos++
+	}
+	return v
+}
+
+// Pos returns the bit cursor.
+func (r *BitReader) Pos() uint { return r.pos }

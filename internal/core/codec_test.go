@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	buf := make([]byte, 16)
+	w := NewBitWriter(buf)
+	w.Write(0x5, 3)
+	w.Write(0xABCD, 16)
+	w.Write(0x1, 1)
+	w.Write(0xFFFFFFFFFF, 40)
+	if w.Pos() != 60 {
+		t.Fatalf("writer pos = %d, want 60", w.Pos())
+	}
+
+	r := NewBitReader(buf)
+	if got := r.Read(3); got != 0x5 {
+		t.Errorf("field 1 = %#x", got)
+	}
+	if got := r.Read(16); got != 0xABCD {
+		t.Errorf("field 2 = %#x", got)
+	}
+	if got := r.Read(1); got != 1 {
+		t.Errorf("field 3 = %#x", got)
+	}
+	if got := r.Read(40); got != 0xFFFFFFFFFF {
+		t.Errorf("field 4 = %#x", got)
+	}
+	if r.Pos() != 60 {
+		t.Errorf("reader pos = %d", r.Pos())
+	}
+}
+
+// TestBitFieldsQuick: arbitrary (value, width) sequences round-trip through
+// the packed representation.
+func TestBitFieldsQuick(t *testing.T) {
+	fn := func(vals []uint64, widths []uint8) bool {
+		n := len(vals)
+		if len(widths) < n {
+			n = len(widths)
+		}
+		if n > 20 {
+			n = 20
+		}
+		buf := make([]byte, 8*20+8)
+		w := NewBitWriter(buf)
+		fields := make([]struct {
+			v     uint64
+			width uint
+		}, 0, n)
+		for i := 0; i < n; i++ {
+			width := uint(widths[i]%64) + 1
+			v := vals[i] & (1<<width - 1)
+			w.Write(v, width)
+			fields = append(fields, struct {
+				v     uint64
+				width uint
+			}{v, width})
+		}
+		r := NewBitReader(buf)
+		for _, f := range fields {
+			if got := r.Read(f.width); got != f.v {
+				t.Logf("width %d: wrote %#x read %#x", f.width, f.v, got)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitWriterZeroBuffer(t *testing.T) {
+	buf := make([]byte, 2)
+	w := NewBitWriter(buf)
+	w.Write(0, 16) // writing zeros must leave the buffer zero
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("zero write dirtied buffer")
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package core implements Predictor Virtualization (PV), the primary
+// contribution of Burcea et al., ASPLOS 2008.
+//
+// PV replaces a large, dedicated on-chip predictor table with two
+// components (Figure 1b of the paper):
+//
+//   - a PVTable: the predictor table stored in a reserved chunk of the
+//     physical memory address space, starting at a per-core PVStart
+//     register, with several predictor entries bit-packed into each
+//     cache-block-sized slot so one memory request delivers a whole
+//     predictor set (Figure 3a);
+//
+//   - a PVProxy: a small on-chip structure containing a fully-associative
+//     PVCache holding a few predictor sets, an MSHR-like structure for
+//     outstanding fetches, and an evict buffer for dirty victims. The
+//     optimization engine keeps the exact same index-based store/retrieve
+//     interface it had against the dedicated table; the proxy turns misses
+//     into ordinary memory requests injected on the backside of the L1,
+//     i.e. straight into the L2 (Figure 3b computes the address as
+//     PVStart + setIndex<<log2(blockBytes)).
+//
+// The proxy is generic over the decoded representation S of one predictor
+// set; a Codec[S] converts between S and the packed bytes that live in the
+// memory system. Because the prediction metadata is advisory, lost entries
+// (e.g. under the on-chip-only option, where dirty PV lines are dropped at
+// the L2 edge instead of being written off-chip) affect only effectiveness,
+// never correctness.
+package core

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// PVTable persistence implements the paper's §2.3 observation that
+// "because virtualized tables live in the memory space it may be possible
+// to make them semi-persistent, thus having subsequent invocations of an
+// application benefit from previously collected predictor metadata". A
+// saved image is exactly the packed bytes that would live in the reserved
+// physical range; loading it into a fresh table (e.g. at the next
+// application start, or on the destination host of a VM migration, §2.3)
+// restores the predictor without retraining.
+//
+// Format (little-endian):
+//
+//	magic   [4]byte  "PVT1"
+//	sets    uint32
+//	block   uint32   bytes per set
+//	bitmap  ceil(sets/8) bytes, bit i = set i present
+//	blocks  block bytes per present set, ascending set order
+const persistMagic = "PVT1"
+
+// Save writes the table's populated sets to w. Only the PVProxy's view of
+// memory is saved; callers that want the PVCache contents included should
+// Flush the proxy first.
+func (t *Table[S]) Save(w io.Writer) error {
+	hdr := make([]byte, 12)
+	copy(hdr, persistMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.cfg.Sets))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.cfg.BlockBytes))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("pvtable %s: save header: %w", t.cfg.Name, err)
+	}
+
+	bitmap := make([]byte, (t.cfg.Sets+7)/8)
+	for i, b := range t.blocks {
+		if b != nil {
+			bitmap[i>>3] |= 1 << (uint(i) & 7)
+		}
+	}
+	if _, err := w.Write(bitmap); err != nil {
+		return fmt.Errorf("pvtable %s: save bitmap: %w", t.cfg.Name, err)
+	}
+	for _, b := range t.blocks {
+		if b == nil {
+			continue
+		}
+		if _, err := w.Write(b); err != nil {
+			return fmt.Errorf("pvtable %s: save blocks: %w", t.cfg.Name, err)
+		}
+	}
+	return nil
+}
+
+// Load replaces the table's contents with a previously saved image. The
+// image's geometry must match the table's; callers should invalidate or
+// flush any PVProxy over this table first (its PVCache holds stale sets
+// otherwise — the same coherence obligation §2.3 notes for software
+// updates).
+func (t *Table[S]) Load(r io.Reader) error {
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("pvtable %s: load header: %w", t.cfg.Name, err)
+	}
+	if string(hdr[:4]) != persistMagic {
+		return fmt.Errorf("pvtable %s: bad magic %q", t.cfg.Name, hdr[:4])
+	}
+	sets := int(binary.LittleEndian.Uint32(hdr[4:]))
+	block := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if sets != t.cfg.Sets || block != t.cfg.BlockBytes {
+		return fmt.Errorf("pvtable %s: image geometry %dx%dB != table %dx%dB",
+			t.cfg.Name, sets, block, t.cfg.Sets, t.cfg.BlockBytes)
+	}
+
+	bitmap := make([]byte, (sets+7)/8)
+	if _, err := io.ReadFull(r, bitmap); err != nil {
+		return fmt.Errorf("pvtable %s: load bitmap: %w", t.cfg.Name, err)
+	}
+	blocks := make([][]byte, sets)
+	for i := 0; i < sets; i++ {
+		if bitmap[i>>3]&(1<<(uint(i)&7)) == 0 {
+			continue
+		}
+		b := make([]byte, block)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return fmt.Errorf("pvtable %s: load set %d: %w", t.cfg.Name, i, err)
+		}
+		blocks[i] = b
+	}
+	t.blocks = blocks
+	return nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPersistRoundTrip(t *testing.T) {
+	src := newTestTable(64)
+	src.WriteSet(0, testSet{V: 11})
+	src.WriteSet(5, testSet{V: 55})
+	src.WriteSet(63, testSet{V: 99})
+
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := newTestTable(64)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for set, want := range map[int]uint64{0: 11, 5: 55, 63: 99, 7: 0} {
+		if got := dst.ReadSet(set).V; got != want {
+			t.Errorf("set %d = %d, want %d", set, got, want)
+		}
+	}
+	if dst.PopulatedSets() != 3 {
+		t.Errorf("PopulatedSets = %d", dst.PopulatedSets())
+	}
+}
+
+func TestPersistSizeProportionalToContent(t *testing.T) {
+	empty := newTestTable(1024)
+	var eb bytes.Buffer
+	if err := empty.Save(&eb); err != nil {
+		t.Fatal(err)
+	}
+	// Header (12) + bitmap (128), no blocks.
+	if eb.Len() != 140 {
+		t.Errorf("empty image = %d bytes, want 140", eb.Len())
+	}
+
+	one := newTestTable(1024)
+	one.WriteSet(3, testSet{V: 1})
+	var ob bytes.Buffer
+	if err := one.Save(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Len() != 140+64 {
+		t.Errorf("one-set image = %d bytes, want 204", ob.Len())
+	}
+}
+
+func TestPersistRejectsBadImages(t *testing.T) {
+	tbl := newTestTable(16)
+
+	if err := tbl.Load(bytes.NewReader([]byte("XXXX"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if err := tbl.Load(bytes.NewReader([]byte("BAD!aaaabbbb"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+
+	// Geometry mismatch: saved from a 64-set table.
+	other := newTestTable(64)
+	var buf bytes.Buffer
+	if err := other.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Load(&buf); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+
+	// Truncated block payload.
+	full := newTestTable(16)
+	full.WriteSet(2, testSet{V: 7})
+	buf.Reset()
+	if err := full.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if err := tbl.Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+// TestPersistQuick: save/load preserves arbitrary table contents exactly.
+func TestPersistQuick(t *testing.T) {
+	fn := func(writes []uint16) bool {
+		src := newTestTable(32)
+		model := map[int]uint64{}
+		for _, wv := range writes {
+			set := int(wv % 32)
+			v := uint64(wv) + 1
+			src.WriteSet(set, testSet{V: v})
+			model[set] = v
+		}
+		var buf bytes.Buffer
+		if err := src.Save(&buf); err != nil {
+			return false
+		}
+		dst := newTestTable(32)
+		if err := dst.Load(&buf); err != nil {
+			return false
+		}
+		for set := 0; set < 32; set++ {
+			if dst.ReadSet(set).V != model[set] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersistAcrossProxy is the §2.3 scenario end to end: train through a
+// proxy, flush, save; a "subsequent invocation" loads the image and its
+// fresh proxy predicts without retraining.
+func TestPersistAcrossProxy(t *testing.T) {
+	be := &fakeBackend{level: 2, latency: 12}
+	p1, tbl1 := newTestProxy(4, 32, be)
+	for set := 0; set < 32; set++ {
+		s, _, _ := p1.Access(0, set)
+		s.V = uint64(set) * 3
+		p1.MarkDirty(set)
+	}
+	p1.Flush()
+
+	var img bytes.Buffer
+	if err := tbl1.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, tbl2 := newTestProxy(4, 32, be)
+	if err := tbl2.Load(&img); err != nil {
+		t.Fatal(err)
+	}
+	for set := 0; set < 32; set++ {
+		s, _, _ := p2.Access(0, set)
+		if s.V != uint64(set)*3 {
+			t.Fatalf("set %d: got %d after reload, want %d", set, s.V, set*3)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pvsim/internal/memsys"
+)
+
+// fakeBackend records requests and returns scripted levels/latencies.
+type fakeBackend struct {
+	reads   []memsys.Addr
+	writes  []memsys.Addr
+	level   memsys.Level
+	latency uint64
+}
+
+func (b *fakeBackend) Read(a memsys.Addr) memsys.Result {
+	b.reads = append(b.reads, a)
+	return memsys.Result{Level: b.level, Latency: b.latency}
+}
+
+func (b *fakeBackend) Write(a memsys.Addr) memsys.Result {
+	b.writes = append(b.writes, a)
+	return memsys.Result{Level: memsys.LevelL2, Latency: 12}
+}
+
+func newTestProxy(cacheEntries, sets int, be Backend) (*Proxy[testSet], *Table[testSet]) {
+	tbl := newTestTable(sets)
+	cfg := ProxyConfig{Name: "p", CacheEntries: cacheEntries, MSHRs: 2, EvictBufEntries: 2}
+	return NewProxy[testSet](cfg, tbl, be), tbl
+}
+
+func TestProxyConfigValidate(t *testing.T) {
+	if err := DefaultProxyConfig("x").Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ProxyConfig{
+		{Name: "a", CacheEntries: 0, MSHRs: 1, EvictBufEntries: 1},
+		{Name: "b", CacheEntries: 4, MSHRs: 0, EvictBufEntries: 1},
+		{Name: "c", CacheEntries: 4, MSHRs: 8, EvictBufEntries: 1}, // MSHRs > entries
+		{Name: "d", CacheEntries: 4, MSHRs: 2, EvictBufEntries: 0},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestProxyMissFetchesAndInstalls(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, tbl := newTestProxy(4, 16, be)
+	tbl.WriteSet(5, testSet{V: 99})
+
+	s, ready, hit := p.Access(100, 5)
+	if hit {
+		t.Fatal("cold access hit")
+	}
+	if s.V != 99 {
+		t.Errorf("fetched set = %+v, want V=99", s)
+	}
+	if ready != 112 {
+		t.Errorf("readyAt = %d, want 112 (now+latency)", ready)
+	}
+	if len(be.reads) != 1 || be.reads[0] != tbl.AddrOf(5) {
+		t.Errorf("backend reads = %v", be.reads)
+	}
+	if p.Stats.Misses != 1 || p.Stats.Fetches != 1 || p.Stats.FilledByL2 != 1 {
+		t.Errorf("stats = %+v", p.Stats)
+	}
+
+	// Second access: PVCache hit, no new fetch, ready immediately.
+	_, ready, hit = p.Access(200, 5)
+	if !hit || ready != 200 {
+		t.Errorf("warm access hit=%v ready=%d", hit, ready)
+	}
+	if len(be.reads) != 1 {
+		t.Error("hit issued a fetch")
+	}
+}
+
+func TestProxyInFlightMerge(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelMem, latency: 400}
+	p, _ := newTestProxy(4, 16, be)
+	_, ready1, _ := p.Access(0, 3)
+	// Re-access while the fetch is outstanding: merged, same completion.
+	_, ready2, hit := p.Access(10, 3)
+	if !hit {
+		t.Fatal("in-flight access did not merge")
+	}
+	if ready2 != ready1 {
+		t.Errorf("merge readyAt = %d, want %d", ready2, ready1)
+	}
+	if p.Stats.InFlightMerges != 1 {
+		t.Errorf("InFlightMerges = %d", p.Stats.InFlightMerges)
+	}
+	if len(be.reads) != 1 {
+		t.Error("merged access issued a second fetch")
+	}
+}
+
+func TestProxyMSHRStall(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelMem, latency: 100}
+	p, _ := newTestProxy(4, 16, be) // 2 MSHRs
+	p.Access(0, 1)                  // completes at 100
+	p.Access(0, 2)                  // completes at 100; both MSHRs busy
+	_, ready, _ := p.Access(0, 3)   // must wait for an MSHR
+	if ready != 200 {
+		t.Errorf("stalled fetch readyAt = %d, want 200 (earliest free + latency)", ready)
+	}
+	if p.Stats.MSHRStalls != 1 {
+		t.Errorf("MSHRStalls = %d", p.Stats.MSHRStalls)
+	}
+}
+
+func TestProxyDirtyEvictionWritesBack(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, tbl := newTestProxy(2, 16, be)
+
+	s, _, _ := p.Access(0, 1)
+	s.V = 111
+	p.MarkDirty(1)
+
+	p.Access(100, 2)
+	p.Access(200, 3) // capacity 2: evicts LRU (set 1, dirty)
+
+	if len(be.writes) != 1 || be.writes[0] != tbl.AddrOf(1) {
+		t.Fatalf("backend writes = %v, want writeback of set 1", be.writes)
+	}
+	if got := tbl.ReadSet(1); got.V != 111 {
+		t.Errorf("table content after writeback = %+v, want V=111", got)
+	}
+	if p.Stats.Writebacks != 1 {
+		t.Errorf("Writebacks = %d", p.Stats.Writebacks)
+	}
+
+	// Clean evictions do not write back.
+	p.Access(300, 4)
+	if len(be.writes) != 1 {
+		t.Error("clean eviction wrote back")
+	}
+	if p.Stats.CleanEvictions == 0 {
+		t.Error("CleanEvictions not counted")
+	}
+}
+
+func TestProxyMarkDirtyOnAbsentPanics(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, _ := newTestProxy(2, 16, be)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty on absent set did not panic")
+		}
+	}()
+	p.MarkDirty(7)
+}
+
+func TestProxyFlush(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, tbl := newTestProxy(4, 16, be)
+	s, _, _ := p.Access(0, 1)
+	s.V = 5
+	p.MarkDirty(1)
+	p.Access(0, 2) // clean
+
+	p.Flush()
+	if p.Resident() != 0 {
+		t.Errorf("Resident = %d after flush", p.Resident())
+	}
+	if got := tbl.ReadSet(1); got.V != 5 {
+		t.Error("flush lost dirty data")
+	}
+	if len(be.writes) != 1 {
+		t.Errorf("flush wrote %d sets, want 1 (only dirty)", len(be.writes))
+	}
+}
+
+func TestProxyInvalidate(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, tbl := newTestProxy(4, 16, be)
+	s, _, _ := p.Access(0, 1)
+	s.V = 123
+	p.MarkDirty(1)
+	p.Invalidate(1) // coherence drop: no writeback
+	if p.Contains(1) {
+		t.Error("set still resident after invalidate")
+	}
+	if len(be.writes) != 0 {
+		t.Error("invalidate wrote back")
+	}
+	if got := tbl.ReadSet(1); got.V != 0 {
+		t.Error("invalidate leaked dirty data into table")
+	}
+	if p.Stats.Invalidations != 1 {
+		t.Errorf("Invalidations = %d", p.Stats.Invalidations)
+	}
+}
+
+func TestProxyAccessOutOfRangePanics(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, _ := newTestProxy(2, 16, be)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range set accepted")
+		}
+	}()
+	p.Access(0, 16)
+}
+
+// TestProxyWriteReadCoherenceQuick: any sequence of writes through the
+// proxy reads back the latest value, regardless of eviction pattern.
+func TestProxyWriteReadCoherenceQuick(t *testing.T) {
+	fn := func(ops []uint16) bool {
+		be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+		p, _ := newTestProxy(3, 8, be)
+		model := make(map[int]uint64)
+		now := uint64(0)
+		for _, op := range ops {
+			set := int(op % 8)
+			now += 50
+			s, _, _ := p.Access(now, set)
+			want := model[set]
+			if s.V != want {
+				t.Logf("set %d: read %d, want %d", set, s.V, want)
+				return false
+			}
+			v := uint64(op)
+			s.V = v
+			p.MarkDirty(set)
+			model[set] = v
+			if err := p.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProxyStatsRates(t *testing.T) {
+	s := ProxyStats{Lookups: 10, Hits: 4, Fetches: 5, FilledByL2: 4}
+	if s.HitRate() != 0.4 {
+		t.Errorf("HitRate = %v", s.HitRate())
+	}
+	if s.L2FillRate() != 0.8 {
+		t.Errorf("L2FillRate = %v", s.L2FillRate())
+	}
+	var z ProxyStats
+	if z.HitRate() != 0 || z.L2FillRate() != 0 {
+		t.Error("zero stats rates should be 0")
+	}
+}
+
+func TestProxyRetarget(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, tblA := newTestProxy(4, 16, be)
+	tblB := NewTable[testSet](TableConfig{
+		Name: "b", Start: 0xF0100000, Sets: 16, BlockBytes: 64,
+	}, testCodec{64})
+
+	// Process A trains set 3.
+	s, _, _ := p.Access(0, 3)
+	s.V = 111
+	p.MarkDirty(3)
+
+	// Context switch to process B: dirty state must reach A's table, and
+	// B must see its own (empty) table, not A's.
+	p.Retarget(tblB)
+	if got := tblA.ReadSet(3); got.V != 111 {
+		t.Fatal("retarget lost process A's dirty state")
+	}
+	if s, _, _ := p.Access(0, 3); s.V != 0 {
+		t.Fatal("process B sees process A's data")
+	}
+	s, _, _ = p.Access(0, 5)
+	s.V = 222
+	p.MarkDirty(5)
+
+	// Switch back: A's state is intact, B's is in B's table.
+	p.Retarget(tblA)
+	if s, _, _ := p.Access(0, 3); s.V != 111 {
+		t.Fatal("process A's state lost across switches")
+	}
+	if got := tblB.ReadSet(5); got.V != 222 {
+		t.Fatal("process B's dirty state not flushed on switch")
+	}
+}
+
+func TestProxyRetargetGeometryMismatchPanics(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, _ := newTestProxy(4, 16, be)
+	other := NewTable[testSet](TableConfig{
+		Name: "x", Start: 0xF0200000, Sets: 32, BlockBytes: 64,
+	}, testCodec{64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch accepted")
+		}
+	}()
+	p.Retarget(other)
+}
+
+// TestSoftwareUpdatePathway exercises §2.3: software writes the predictor's
+// memory directly; after the coherence invalidation the proxy serves the
+// new contents.
+func TestSoftwareUpdatePathway(t *testing.T) {
+	be := &fakeBackend{level: memsys.LevelL2, latency: 12}
+	p, tbl := newTestProxy(4, 16, be)
+	s, _, _ := p.Access(0, 2)
+	s.V = 7
+	p.MarkDirty(2)
+	p.Flush()
+
+	// "Application" writes the raw bytes of set 2.
+	raw := make([]byte, 64)
+	testCodec{64}.Pack(testSet{V: 99}, raw)
+	tbl.WriteRawBytes(2, raw)
+	p.Invalidate(2) // the §2.3 coherence requirement
+
+	if s, _, _ := p.Access(0, 2); s.V != 99 {
+		t.Fatalf("proxy served stale data %d after software update", s.V)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// SpaceConfig parameterizes the §4.6 on-chip storage accounting for a
+// PVProxy. Defaults reproduce the paper's 889-byte budget.
+type SpaceConfig struct {
+	CacheEntries         int // PVCache slots (predictor sets held on chip)
+	EntriesPerSet        int // predictor entries packed per set
+	EntryBits            int // bits per predictor entry
+	TableSets            int // PVTable sets (determines tag width)
+	MSHRs                int
+	MSHREntryBytes       int // address + set id + waiter bookkeeping
+	EvictBufEntries      int
+	BlockBytes           int // one packed set
+	PatternBufEntries    int // engine-side buffer for in-flight predictions
+	PatternBufEntryBytes int
+}
+
+// DefaultSpaceConfig reproduces §4.6: an 8-set PVCache over the 1K-set
+// 11-way PHT (43-bit entries), 4 MSHRs of 21 bytes, a 4x64B evict buffer and
+// a 16x4B pattern buffer.
+func DefaultSpaceConfig() SpaceConfig {
+	return SpaceConfig{
+		CacheEntries:         8,
+		EntriesPerSet:        11,
+		EntryBits:            43,
+		TableSets:            1024,
+		MSHRs:                4,
+		MSHREntryBytes:       21,
+		EvictBufEntries:      4,
+		BlockBytes:           64,
+		PatternBufEntries:    16,
+		PatternBufEntryBytes: 4,
+	}
+}
+
+// SpaceItem is one line of the on-chip budget.
+type SpaceItem struct {
+	Name  string
+	Bytes int
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Breakdown itemizes the PVProxy's on-chip storage. With the defaults:
+// PVCache data 473B, tags 11B, dirty bits 1B, MSHRs 84B, evict buffer 256B,
+// pattern buffer 64B — 889B total.
+func (c SpaceConfig) Breakdown() []SpaceItem {
+	tagBits := log2ceil(c.TableSets) + 1 // set identity + valid bit
+	return []SpaceItem{
+		{"PVCache data", ceilDiv(c.CacheEntries*c.EntriesPerSet*c.EntryBits, 8)},
+		{"PVCache tags", ceilDiv(c.CacheEntries*tagBits, 8)},
+		{"dirty bits", ceilDiv(c.CacheEntries, 8)},
+		{"MSHRs", c.MSHRs * c.MSHREntryBytes},
+		{"evict buffer", c.EvictBufEntries * c.BlockBytes},
+		{"pattern buffer", c.PatternBufEntries * c.PatternBufEntryBytes},
+	}
+}
+
+// TotalBytes sums the breakdown (889 with the defaults).
+func (c SpaceConfig) TotalBytes() int {
+	t := 0
+	for _, it := range c.Breakdown() {
+		t += it.Bytes
+	}
+	return t
+}
+
+// ReductionFactor compares a dedicated predictor's on-chip bytes with the
+// PVProxy budget (the paper reports 68x for the 59.125KB 1K-11a PHT).
+func (c SpaceConfig) ReductionFactor(dedicatedBytes int) float64 {
+	return float64(dedicatedBytes) / float64(c.TotalBytes())
+}
+
+func (c SpaceConfig) String() string {
+	return fmt.Sprintf("PVProxy space: %dB (%d-entry PVCache over %d-set table)",
+		c.TotalBytes(), c.CacheEntries, c.TableSets)
+}

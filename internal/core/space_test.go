@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+// TestSpaceMatchesPaper checks every line of the §4.6 budget.
+func TestSpaceMatchesPaper(t *testing.T) {
+	cfg := DefaultSpaceConfig()
+	want := map[string]int{
+		"PVCache data":   473,
+		"PVCache tags":   11,
+		"dirty bits":     1,
+		"MSHRs":          84,
+		"evict buffer":   256,
+		"pattern buffer": 64,
+	}
+	for _, item := range cfg.Breakdown() {
+		if w, ok := want[item.Name]; !ok || item.Bytes != w {
+			t.Errorf("%s = %dB, want %dB", item.Name, item.Bytes, w)
+		}
+	}
+	if got := cfg.TotalBytes(); got != 889 {
+		t.Errorf("TotalBytes = %d, want 889 (paper §4.6)", got)
+	}
+}
+
+func TestSpaceReductionFactor(t *testing.T) {
+	cfg := DefaultSpaceConfig()
+	// 1K-11a dedicated PHT = 59.125KB = 60544 bytes; paper reports a 68x
+	// reduction.
+	f := cfg.ReductionFactor(60544)
+	if f < 67.5 || f > 68.5 {
+		t.Errorf("ReductionFactor = %.2f, want ~68", f)
+	}
+}
+
+func TestSpaceScalesWithGeometry(t *testing.T) {
+	cfg := DefaultSpaceConfig()
+	cfg.CacheEntries = 16
+	b := cfg.Breakdown()
+	if b[0].Bytes != 946 { // 16 x 11 x 43 bits = 7568 bits = 946 bytes
+		t.Errorf("16-entry PVCache data = %dB, want 946", b[0].Bytes)
+	}
+	if b[1].Bytes != 22 { // 16 x 11-bit tags
+		t.Errorf("16-entry tags = %dB, want 22", b[1].Bytes)
+	}
+	if b[2].Bytes != 2 {
+		t.Errorf("dirty bits = %dB, want 2", b[2].Bytes)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSpaceString(t *testing.T) {
+	s := DefaultSpaceConfig().String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"pvsim/internal/memsys"
+)
+
+// testSet is a trivial decoded set used throughout this package's tests: a
+// single 64-bit value, valid iff non-zero.
+type testSet struct{ V uint64 }
+
+type testCodec struct{ block int }
+
+func (c testCodec) BlockBytes() int { return c.block }
+func (c testCodec) Pack(s testSet, dst []byte) {
+	w := NewBitWriter(dst)
+	w.Write(s.V, 64)
+}
+func (c testCodec) Unpack(src []byte) testSet {
+	r := NewBitReader(src)
+	return testSet{V: r.Read(64)}
+}
+
+func newTestTable(sets int) *Table[testSet] {
+	return NewTable[testSet](TableConfig{
+		Name: "t", Start: 0xF0000000, Sets: sets, BlockBytes: 64,
+	}, testCodec{64})
+}
+
+func TestTableConfigValidate(t *testing.T) {
+	good := TableConfig{Name: "x", Start: 0x1000, Sets: 8, BlockBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TableConfig{
+		{Name: "a", Start: 0x1000, Sets: 0, BlockBytes: 64},
+		{Name: "b", Start: 0x1000, Sets: 8, BlockBytes: 0},
+		{Name: "c", Start: 0x1001, Sets: 8, BlockBytes: 64}, // misaligned
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestTableRangeAndSize(t *testing.T) {
+	cfg := TableConfig{Name: "x", Start: 0xF0000000, Sets: 1024, BlockBytes: 64}
+	if cfg.SizeBytes() != 64<<10 {
+		t.Errorf("SizeBytes = %d, want 64KB", cfg.SizeBytes())
+	}
+	r := cfg.Range()
+	if r.Start != 0xF0000000 || r.End != 0xF0010000 {
+		t.Errorf("Range = %v", r)
+	}
+}
+
+// TestAddrOfSetOfBijection: AddrOf and SetOf invert each other for every
+// in-range set (Figure 3b address computation).
+func TestAddrOfSetOfBijection(t *testing.T) {
+	tbl := newTestTable(1024)
+	fn := func(raw uint16) bool {
+		set := int(raw) % 1024
+		a := tbl.AddrOf(set)
+		got, ok := tbl.SetOf(a)
+		if !ok || got != set {
+			return false
+		}
+		// Interior addresses map to the same set.
+		got, ok = tbl.SetOf(a + 63)
+		return ok && got == set
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetOfOutsideRange(t *testing.T) {
+	tbl := newTestTable(16)
+	if _, ok := tbl.SetOf(0x1000); ok {
+		t.Error("address below table mapped to a set")
+	}
+	if _, ok := tbl.SetOf(tbl.Config().Range().End); ok {
+		t.Error("address at range end mapped to a set")
+	}
+}
+
+func TestTableReadWriteRoundTrip(t *testing.T) {
+	tbl := newTestTable(8)
+	tbl.WriteSet(3, testSet{V: 0xDEADBEEF})
+	if got := tbl.ReadSet(3); got.V != 0xDEADBEEF {
+		t.Errorf("ReadSet = %+v", got)
+	}
+	// Untouched sets decode as empty (zero-is-empty law).
+	if got := tbl.ReadSet(5); got.V != 0 {
+		t.Errorf("untouched set = %+v, want zero", got)
+	}
+	if tbl.PopulatedSets() != 1 {
+		t.Errorf("PopulatedSets = %d", tbl.PopulatedSets())
+	}
+}
+
+func TestTableDrop(t *testing.T) {
+	tbl := newTestTable(8)
+	tbl.WriteSet(2, testSet{V: 42})
+	tbl.Drop(tbl.AddrOf(2))
+	if got := tbl.ReadSet(2); got.V != 0 {
+		t.Errorf("after drop: %+v, want zero (entries lost)", got)
+	}
+	tbl.Drop(0x10) // out of range: no-op, no panic
+}
+
+func TestTableRawBytes(t *testing.T) {
+	tbl := newTestTable(4)
+	if tbl.RawBytes(0) != nil {
+		t.Fatal("unwritten set has raw bytes")
+	}
+	raw := make([]byte, 64)
+	raw[0] = 0x2A // V = 42 little-endian bit order
+	tbl.WriteRawBytes(0, raw)
+	if got := tbl.ReadSet(0); got.V != 42 {
+		t.Errorf("raw write decoded to %+v, want V=42", got)
+	}
+	// The table must copy, not alias.
+	raw[0] = 0xFF
+	if got := tbl.ReadSet(0); got.V != 42 {
+		t.Error("WriteRawBytes aliased caller buffer")
+	}
+}
+
+func TestTableRawBytesWrongSizePanics(t *testing.T) {
+	tbl := newTestTable(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short raw write accepted")
+		}
+	}()
+	tbl.WriteRawBytes(0, make([]byte, 10))
+}
+
+func TestNewTableRejectsCodecMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("codec/block mismatch accepted")
+		}
+	}()
+	NewTable[testSet](TableConfig{Name: "x", Start: 0, Sets: 4, BlockBytes: 128}, testCodec{64})
+}
+
+// TestTablePackUnpackStability: writing then reading raw bytes equals
+// packing directly.
+func TestTablePackUnpackStability(t *testing.T) {
+	tbl := newTestTable(4)
+	codec := testCodec{64}
+	fn := func(v uint64) bool {
+		tbl.WriteSet(1, testSet{V: v})
+		want := make([]byte, 64)
+		codec.Pack(testSet{V: v}, want)
+		return bytes.Equal(tbl.RawBytes(1), want)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableAddrOfMatchesFigure3b(t *testing.T) {
+	// Figure 3b: memory address = PVStart + (set index padded with six
+	// zeros), i.e. set<<6 for 64-byte blocks.
+	tbl := newTestTable(1024)
+	start := memsys.Addr(0xF0000000)
+	for _, set := range []int{0, 1, 511, 1023} {
+		want := start + memsys.Addr(set<<6)
+		if got := tbl.AddrOf(set); got != want {
+			t.Errorf("AddrOf(%d) = %#x, want %#x", set, uint64(got), uint64(want))
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func testConfig() Config {
+	return Config{MemRatio: 0.25, MLP: 4, L1Latency: 2, FrontEndMLP: 2}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{MemRatio: 0, MLP: 4, L1Latency: 2, FrontEndMLP: 2},
+		{MemRatio: 1.5, MLP: 4, L1Latency: 2, FrontEndMLP: 2},
+		{MemRatio: 0.25, MLP: 0.5, L1Latency: 2, FrontEndMLP: 2},
+		{MemRatio: 0.25, MLP: 4, L1Latency: 2, FrontEndMLP: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHitAccountsBasePipeline(t *testing.T) {
+	c := New(testConfig())
+	c.OnAccess(2, 0) // L1 hit: latency == L1Latency, no stall
+	if got := c.Instrs(); got != 4 {
+		t.Errorf("Instrs = %v, want 4 (1/MemRatio)", got)
+	}
+	if got := c.Cycles(); got != 4 {
+		t.Errorf("Cycles = %v, want 4 (1 IPC, no stall)", got)
+	}
+	if c.IPC() != 1 {
+		t.Errorf("IPC = %v, want 1", c.IPC())
+	}
+}
+
+func TestMissStallDividedByMLP(t *testing.T) {
+	c := New(testConfig())
+	c.OnAccess(402, 0) // 400 cycles beyond L1, MLP 4 -> 100 stall
+	want := 4.0 + 100.0
+	if math.Abs(c.Cycles()-want) > 1e-9 {
+		t.Errorf("Cycles = %v, want %v", c.Cycles(), want)
+	}
+}
+
+func TestExtraStall(t *testing.T) {
+	c := New(testConfig())
+	c.OnAccess(2, 40) // late prefetch residual: 40/MLP = 10
+	if math.Abs(c.Cycles()-14) > 1e-9 {
+		t.Errorf("Cycles = %v, want 14", c.Cycles())
+	}
+}
+
+func TestFetchStall(t *testing.T) {
+	c := New(testConfig())
+	c.OnFetch(2) // L1I hit: free
+	if c.Cycles() != 0 {
+		t.Errorf("hit fetch cost %v cycles", c.Cycles())
+	}
+	c.OnFetch(14) // 12 beyond L1 / FrontEndMLP 2 = 6
+	if math.Abs(c.Cycles()-6) > 1e-9 {
+		t.Errorf("Cycles = %v, want 6", c.Cycles())
+	}
+	if c.Instrs() != 0 {
+		t.Error("fetch committed instructions")
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	c := New(testConfig())
+	c.OnAccess(2, 0)
+	s := c.Snapshot()
+	c.OnAccess(402, 0)
+	d := c.Since(s)
+	if math.Abs(d.Instrs-4) > 1e-9 {
+		t.Errorf("delta instrs = %v", d.Instrs)
+	}
+	if math.Abs(d.Cycles-104) > 1e-9 {
+		t.Errorf("delta cycles = %v", d.Cycles)
+	}
+}
+
+func TestIPCZeroBeforeWork(t *testing.T) {
+	c := New(testConfig())
+	if c.IPC() != 0 {
+		t.Error("IPC non-zero before any work")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	New(Config{})
+}
+
+// TestCoverageImprovesIPC is the end-to-end sanity behind Figure 9: a
+// stream with fewer misses must show higher IPC.
+func TestCoverageImprovesIPC(t *testing.T) {
+	base := New(testConfig())
+	cov := New(testConfig())
+	for i := 0; i < 1000; i++ {
+		if i%10 == 0 {
+			base.OnAccess(414, 0) // memory miss
+			if i%20 == 0 {
+				cov.OnAccess(414, 0) // half the misses covered
+			} else {
+				cov.OnAccess(2, 0)
+			}
+		} else {
+			base.OnAccess(2, 0)
+			cov.OnAccess(2, 0)
+		}
+	}
+	if cov.IPC() <= base.IPC() {
+		t.Errorf("covered IPC %v <= baseline %v", cov.IPC(), base.IPC())
+	}
+}

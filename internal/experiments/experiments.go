@@ -1,0 +1,198 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4). Each experiment builds its simulation runs through a
+// caching, parallel Runner so shared configurations (e.g. the SMS 1K-11a
+// reference that Figures 6–8 all compare against) are simulated once.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pvsim/internal/report"
+	"pvsim/internal/sim"
+	"pvsim/internal/workloads"
+)
+
+// Options tune experiment execution.
+type Options struct {
+	// Scale multiplies the per-core access counts (1.0 = DefaultScale
+	// measured accesses). Benches use small scales; final reports 1.0+.
+	Scale float64
+	// Seed feeds the workload generators.
+	Seed uint64
+	// Parallel caps concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...interface{})
+}
+
+// DefaultOptions runs at full scale with quiet logging.
+func DefaultOptions() Options {
+	return Options{Scale: 1.0, Seed: 42}
+}
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...interface{}) {}
+	}
+	return o
+}
+
+// Runner executes simulations with caching and bounded parallelism.
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[string]sim.Result
+	sem   chan struct{}
+}
+
+// NewRunner builds a runner.
+func NewRunner(opts Options) *Runner {
+	o := opts.normalized()
+	return &Runner{
+		opts:  o,
+		cache: make(map[string]sim.Result),
+		sem:   make(chan struct{}, o.Parallel),
+	}
+}
+
+// Options returns the normalized options.
+func (r *Runner) Options() Options { return r.opts }
+
+// baseConfig builds the standard functional run of a workload at the
+// runner's scale.
+func (r *Runner) baseConfig(w workloads.Workload) sim.Config {
+	cfg := sim.Default(w)
+	cfg.Seed = r.opts.Seed
+	cfg.Measure = int(float64(sim.DefaultScale) * r.opts.Scale)
+	if cfg.Measure < 1000 {
+		cfg.Measure = 1000
+	}
+	// Warm as long as we measure, mirroring the paper's 1B+1B cycle split:
+	// predictor tables must be warm before coverage is representative.
+	cfg.Warmup = cfg.Measure
+	return cfg
+}
+
+// timingConfig builds the standard timing run (SMARTS-like windows).
+func (r *Runner) timingConfig(w workloads.Workload) sim.Config {
+	cfg := r.baseConfig(w)
+	cfg.Timing = true
+	cfg.Windows = 20
+	return cfg
+}
+
+func cacheKey(cfg sim.Config) string {
+	return fmt.Sprintf("%s|%s|seed=%d|w=%d|m=%d|t=%v|win=%d|l2=%d/%d/%d|mem=%d|oco=%v|shared=%v|cores=%d|prio=%v|banks=%d",
+		cfg.Workload.Name, cfg.Prefetch.Label(), cfg.Seed, cfg.Warmup, cfg.Measure,
+		cfg.Timing, cfg.Windows,
+		cfg.Hier.L2.SizeBytes, cfg.Hier.L2.TagLatency, cfg.Hier.L2.DataLatency,
+		cfg.Hier.MemLatency, cfg.Prefetch.OnChipOnly, cfg.Prefetch.SharedTable,
+		cfg.Hier.Cores, cfg.Hier.PrioritizeAppOverPV, cfg.Hier.L2Banks)
+}
+
+// Run simulates cfg, returning a cached result when an identical
+// configuration already ran.
+func (r *Runner) Run(cfg sim.Config) sim.Result {
+	key := cacheKey(cfg)
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+
+	// Double-check after acquiring a slot.
+	r.mu.Lock()
+	if res, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return res
+	}
+	r.mu.Unlock()
+
+	r.opts.Log("run %s", key)
+	res := sim.Run(cfg)
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res
+}
+
+// RunAll simulates configurations concurrently, preserving order.
+func (r *Runner) RunAll(cfgs []sim.Config) []sim.Result {
+	out := make([]sim.Result, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		i, cfg := i, cfg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = r.Run(cfg)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) *report.Doc
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) { registry[e.ID] = e }
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	order := map[string]int{
+		"table1": 0, "table2": 1, "table3": 2,
+		"fig4": 3, "fig5": 4, "fig6": 5, "fig7": 6, "fig8": 7,
+		"fig9": 8, "fig10": 9, "fig11": 10, "space": 11, "ablations": 12, "stride": 13,
+	}
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		oi, oki := order[out[i].ID]
+		oj, okj := order[out[j].ID]
+		if oki && okj {
+			return oi < oj
+		}
+		if oki != okj {
+			return oki
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, error) {
+	if e, ok := registry[id]; ok {
+		return e, nil
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids)
+}

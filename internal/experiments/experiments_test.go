@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pvsim/internal/sim"
+	"pvsim/internal/workloads"
+)
+
+func tinyRunner() *Runner {
+	return NewRunner(Options{Scale: 0.02, Seed: 42})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "space", "ablations", "stride"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("position %d: %s, want %s (paper order)", i, all[i].ID, id)
+		}
+	}
+	if _, err := ByID("fig4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Scale != 1.0 || o.Seed != 42 || o.Parallel <= 0 || o.Log == nil {
+		t.Errorf("normalized = %+v", o)
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	var runs atomic.Int32
+	r := NewRunner(Options{Scale: 0.01, Log: func(string, ...interface{}) { runs.Add(1) }})
+	w, _ := workloads.ByName("Apache")
+	cfg := r.baseConfig(w)
+	r.Run(cfg)
+	r.Run(cfg)
+	if runs.Load() != 1 {
+		t.Errorf("identical config simulated %d times, want 1", runs.Load())
+	}
+	cfg.Prefetch = sim.PV8
+	r.Run(cfg)
+	if runs.Load() != 2 {
+		t.Errorf("distinct config not simulated: %d", runs.Load())
+	}
+}
+
+func TestRunAllPreservesOrder(t *testing.T) {
+	r := tinyRunner()
+	w1, _ := workloads.ByName("Apache")
+	w2, _ := workloads.ByName("Qry1")
+	cfgs := []sim.Config{r.baseConfig(w1), r.baseConfig(w2)}
+	res := r.RunAll(cfgs)
+	if res[0].Config.Workload.Name != "Apache" || res[1].Config.Workload.Name != "Qry1" {
+		t.Error("RunAll scrambled order")
+	}
+}
+
+func TestStaticExperiments(t *testing.T) {
+	r := tinyRunner()
+	for _, id := range []string{"table1", "table2", "table3", "space"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := e.Run(r)
+		if doc.ID != id {
+			t.Errorf("%s: doc.ID = %s", id, doc.ID)
+		}
+		if len(doc.Text()) < 50 {
+			t.Errorf("%s: implausibly short output", id)
+		}
+	}
+}
+
+func TestTable3Document(t *testing.T) {
+	e, _ := ByID("table3")
+	txt := e.Run(tinyRunner()).Text()
+	for _, want := range []string{"86.000KB", "59.125KB", "1K-16", "8-11"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("table3 missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestSpaceDocument(t *testing.T) {
+	e, _ := ByID("space")
+	txt := e.Run(tinyRunner()).Text()
+	for _, want := range []string{"889", "473", "68"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("space missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestFig4Document(t *testing.T) {
+	doc := mustRun(t, "fig4")
+	txt := doc.Text()
+	for _, w := range workloads.Names() {
+		if !strings.Contains(txt, w) {
+			t.Errorf("fig4 missing workload %s", w)
+		}
+	}
+	for _, cfg := range []string{"Infinite", "1K-16a", "1K-11a", "16-11a", "8-11a"} {
+		if !strings.Contains(txt, cfg) {
+			t.Errorf("fig4 missing config %s", cfg)
+		}
+	}
+}
+
+func TestFig6Document(t *testing.T) {
+	txt := mustRun(t, "fig6").Text()
+	if !strings.Contains(txt, "PV-8") || !strings.Contains(txt, "AVG") {
+		t.Errorf("fig6 output:\n%s", txt)
+	}
+}
+
+func TestFig9Document(t *testing.T) {
+	txt := mustRun(t, "fig9").Text()
+	for _, want := range []string{"SMS-1K-11a", "SMS-PV-8", "AVG", "±"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("fig9 missing %q", want)
+		}
+	}
+}
+
+func mustRun(t *testing.T, id string) interface {
+	Text() string
+} {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run(tinyRunner())
+}
+
+// TestAllExperimentsRunTiny smoke-tests every experiment end to end at a
+// very small scale.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke test")
+	}
+	r := NewRunner(Options{Scale: 0.01, Seed: 7})
+	for _, e := range All() {
+		doc := e.Run(r)
+		if doc == nil || len(doc.Sections) == 0 {
+			t.Errorf("%s produced empty document", e.ID)
+		}
+	}
+}
+
+func TestAblationsDocument(t *testing.T) {
+	txt := mustRun(t, "ablations").Text()
+	for _, want := range []string{"PVCache size", "On-chip-only", "Shared vs per-core", "arbitration"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+}
+
+func TestStrideDocument(t *testing.T) {
+	txt := mustRun(t, "stride").Text()
+	for _, want := range []string{"stride-1K", "stride-PV8", "SMS 1K-11a", "AVG"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("stride missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package memsys
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// CacheConfig describes one set-associative cache.
+type CacheConfig struct {
+	Name        string
+	SizeBytes   int    // total data capacity
+	Ways        int    // associativity
+	BlockBytes  int    // line size; must be a power of two
+	TagLatency  uint64 // cycles to determine hit/miss
+	DataLatency uint64 // cycles to deliver data on a hit
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.BlockBytes) }
+
+// Validate checks that the geometry is internally consistent.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache %s: non-positive geometry %+v", c.Name, c)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("cache %s: block size %d is not a power of two", c.Name, c.BlockBytes)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*c.BlockBytes != c.SizeBytes {
+		return fmt.Errorf("cache %s: size %d not divisible into %d-way sets of %d-byte blocks",
+			c.Name, c.SizeBytes, c.Ways, c.BlockBytes)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: set count %d is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// EvictCause says why a line left the cache.
+type EvictCause uint8
+
+const (
+	// CauseReplacement means the line was displaced by a fill.
+	CauseReplacement EvictCause = iota
+	// CauseInvalidation means the line was invalidated (coherence).
+	CauseInvalidation
+)
+
+func (c EvictCause) String() string {
+	if c == CauseReplacement {
+		return "replacement"
+	}
+	return "invalidation"
+}
+
+// Victim describes a line displaced by a fill or invalidation.
+type Victim struct {
+	Addr           Addr // block-aligned address of the displaced line
+	Valid          bool // false when the fill used an empty way
+	Dirty          bool // line must be written back
+	UnusedPrefetch bool // line was prefetched and never demand-referenced
+}
+
+// line is one cache line's bookkeeping state; data contents are not modeled
+// (the simulator is trace-driven), except for PV metadata whose contents live
+// in the PVTable backing store.
+type line struct {
+	tag        uint64
+	lastUse    uint64
+	valid      bool
+	dirty      bool
+	prefetched bool // filled by a prefetch and not yet demand-referenced
+}
+
+// CacheStats counts events local to one cache.
+type CacheStats struct {
+	Hits           uint64
+	Misses         uint64
+	Fills          uint64
+	Evictions      uint64 // valid lines displaced by fills
+	DirtyEvictions uint64
+	Invalidations  uint64
+	PrefetchFills  uint64
+	PrefetchUnused uint64 // prefetched lines that left without a demand hit
+	PrefetchDemand uint64 // first demand references to prefetched lines
+	WriteHits      uint64
+	WriteMisses    uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with LRU
+// replacement. It tracks dirty bits and a per-line "prefetched, not yet
+// used" bit so the harness can account overpredictions exactly as Figure 4
+// does.
+type Cache struct {
+	cfg       CacheConfig
+	blockBits uint
+	setBits   uint
+	setMask   uint64
+	ways      int
+	lines     []line // sets*ways, set-major
+	tick      uint64
+
+	// onEvict, when set, fires for every valid line that leaves the cache
+	// (replacement or invalidation), before the replacement completes.
+	onEvict func(addr Addr, cause EvictCause)
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache from cfg; it panics on invalid geometry because a
+// bad geometry is a programming error, not a runtime condition.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	return &Cache{
+		cfg:       cfg,
+		blockBits: uint(bits.TrailingZeros(uint(cfg.BlockBytes))),
+		setBits:   uint(bits.TrailingZeros(uint(sets))),
+		setMask:   uint64(sets - 1),
+		ways:      cfg.Ways,
+		lines:     make([]line, sets*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// SetEvictHook registers fn to run whenever a valid line leaves the cache.
+// The address passed is block-aligned.
+func (c *Cache) SetEvictHook(fn func(addr Addr, cause EvictCause)) { c.onEvict = fn }
+
+// BlockAddr returns the block-aligned address containing a.
+func (c *Cache) BlockAddr(a Addr) Addr {
+	return a &^ Addr(c.cfg.BlockBytes-1)
+}
+
+func (c *Cache) decompose(a Addr) (set int, tag uint64) {
+	block := uint64(a) >> c.blockBits
+	return int(block & c.setMask), block >> c.setBits
+}
+
+func (c *Cache) compose(set int, tag uint64) Addr {
+	block := tag<<c.setBits | uint64(set)
+	return Addr(block << c.blockBits)
+}
+
+func (c *Cache) setSlice(set int) []line {
+	return c.lines[set*c.ways : (set+1)*c.ways]
+}
+
+// LookupResult reports the outcome of a demand lookup.
+type LookupResult struct {
+	Hit          bool
+	FirstUseOfPF bool // the hit consumed a prefetched line for the first time
+}
+
+// Lookup performs a demand access. On a hit the line's LRU state is updated,
+// the dirty bit is set for writes, and the prefetched bit is consumed.
+func (c *Cache) Lookup(a Addr, write bool) LookupResult {
+	c.tick++
+	set, tag := c.decompose(a)
+	for i, ln := range c.setSlice(set) {
+		if ln.valid && ln.tag == tag {
+			s := c.setSlice(set)
+			s[i].lastUse = c.tick
+			first := s[i].prefetched
+			if first {
+				s[i].prefetched = false
+				c.Stats.PrefetchDemand++
+			}
+			if write {
+				s[i].dirty = true
+				c.Stats.WriteHits++
+			}
+			c.Stats.Hits++
+			return LookupResult{Hit: true, FirstUseOfPF: first}
+		}
+	}
+	c.Stats.Misses++
+	if write {
+		c.Stats.WriteMisses++
+	}
+	return LookupResult{}
+}
+
+// Contains reports presence without disturbing LRU or prefetch state.
+func (c *Cache) Contains(a Addr) bool {
+	set, tag := c.decompose(a)
+	for _, ln := range c.setSlice(set) {
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch updates LRU state for a resident block without other side effects.
+// It reports whether the block was present.
+func (c *Cache) Touch(a Addr) bool {
+	set, tag := c.decompose(a)
+	s := c.setSlice(set)
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			c.tick++
+			s[i].lastUse = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the block containing a. If the block is already resident the
+// fill only merges flags (a dirty fill marks the line dirty). Otherwise the
+// LRU way is displaced and returned as the victim.
+func (c *Cache) Fill(a Addr, dirty, prefetch bool) Victim {
+	c.tick++
+	set, tag := c.decompose(a)
+	s := c.setSlice(set)
+
+	// Merge into an existing line if present (e.g. a writeback arriving for
+	// a block that is still resident).
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			if dirty {
+				s[i].dirty = true
+			}
+			s[i].lastUse = c.tick
+			return Victim{}
+		}
+	}
+
+	victimWay := -1
+	for i := range s {
+		if !s[i].valid {
+			victimWay = i
+			break
+		}
+	}
+	var v Victim
+	if victimWay < 0 {
+		victimWay = 0
+		for i := 1; i < len(s); i++ {
+			if s[i].lastUse < s[victimWay].lastUse {
+				victimWay = i
+			}
+		}
+		old := s[victimWay]
+		v = Victim{
+			Addr:           c.compose(set, old.tag),
+			Valid:          true,
+			Dirty:          old.dirty,
+			UnusedPrefetch: old.prefetched,
+		}
+		c.Stats.Evictions++
+		if old.dirty {
+			c.Stats.DirtyEvictions++
+		}
+		if old.prefetched {
+			c.Stats.PrefetchUnused++
+		}
+		if c.onEvict != nil {
+			c.onEvict(v.Addr, CauseReplacement)
+		}
+	}
+	s[victimWay] = line{tag: tag, lastUse: c.tick, valid: true, dirty: dirty, prefetched: prefetch}
+	c.Stats.Fills++
+	if prefetch {
+		c.Stats.PrefetchFills++
+	}
+	return v
+}
+
+// Invalidate removes the block containing a, if present, and returns its
+// state as a victim (Valid=false when the block was absent).
+func (c *Cache) Invalidate(a Addr) Victim {
+	set, tag := c.decompose(a)
+	s := c.setSlice(set)
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			v := Victim{
+				Addr:           c.compose(set, s[i].tag),
+				Valid:          true,
+				Dirty:          s[i].dirty,
+				UnusedPrefetch: s[i].prefetched,
+			}
+			c.Stats.Invalidations++
+			if s[i].prefetched {
+				c.Stats.PrefetchUnused++
+			}
+			if c.onEvict != nil {
+				c.onEvict(v.Addr, CauseInvalidation)
+			}
+			s[i] = line{}
+			return v
+		}
+	}
+	return Victim{}
+}
+
+// ResidentBlocks returns the number of valid lines; useful for tests.
+func (c *Cache) ResidentBlocks() int {
+	n := 0
+	for _, ln := range c.lines {
+		if ln.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies internal consistency: no duplicate tags within a
+// set and no prefetched-but-invalid lines. It is used by property tests.
+func (c *Cache) CheckInvariants() error {
+	sets := c.cfg.Sets()
+	for set := 0; set < sets; set++ {
+		seen := make(map[uint64]bool, c.ways)
+		for _, ln := range c.setSlice(set) {
+			if !ln.valid {
+				if ln.prefetched {
+					return fmt.Errorf("cache %s set %d: invalid line with prefetched bit", c.cfg.Name, set)
+				}
+				continue
+			}
+			if seen[ln.tag] {
+				return fmt.Errorf("cache %s set %d: duplicate tag %#x", c.cfg.Name, set, ln.tag)
+			}
+			seen[ln.tag] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testCacheConfig(size, ways, block int) CacheConfig {
+	return CacheConfig{Name: "test", SizeBytes: size, Ways: ways, BlockBytes: block,
+		TagLatency: 1, DataLatency: 2}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  CacheConfig
+		ok   bool
+	}{
+		{"default L1", testCacheConfig(64<<10, 4, 64), true},
+		{"default L2", testCacheConfig(8<<20, 16, 64), true},
+		{"tiny", testCacheConfig(128, 2, 64), true},
+		{"zero size", testCacheConfig(0, 4, 64), false},
+		{"zero ways", testCacheConfig(64<<10, 0, 64), false},
+		{"non-pow2 block", testCacheConfig(64<<10, 4, 48), false},
+		{"non-divisible", testCacheConfig(1000, 3, 64), false},
+		{"non-pow2 sets", testCacheConfig(3*64*4, 4, 64), false},
+	}
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	cfg := testCacheConfig(64<<10, 4, 64)
+	if got := cfg.Sets(); got != 256 {
+		t.Errorf("Sets() = %d, want 256", got)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(testCacheConfig(1024, 2, 64)) // 8 sets x 2 ways
+	if r := c.Lookup(0x1000, false); r.Hit {
+		t.Fatal("hit in empty cache")
+	}
+	c.Fill(0x1000, false, false)
+	if r := c.Lookup(0x1000, false); !r.Hit {
+		t.Fatal("miss after fill")
+	}
+	// Another address in the same block hits too.
+	if r := c.Lookup(0x1038, false); !r.Hit {
+		t.Fatal("miss within same block")
+	}
+	if c.Stats.Hits != 2 || c.Stats.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 hits / 1 miss", c.Stats)
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	c := NewCache(testCacheConfig(256, 2, 64)) // 2 sets x 2 ways
+	// Three blocks mapping to set 0: block addresses 0, 128*1, 128*2 with
+	// 64B blocks and 2 sets: set = (addr>>6) & 1.
+	a0, a1, a2 := Addr(0x000), Addr(0x100), Addr(0x200)
+	c.Fill(a0, false, false)
+	c.Fill(a1, false, false)
+	c.Lookup(a0, false) // a0 now MRU; a1 is LRU
+	v := c.Fill(a2, false, false)
+	if !v.Valid || v.Addr != a1 {
+		t.Fatalf("victim = %+v, want eviction of %#x", v, uint64(a1))
+	}
+	if !c.Contains(a0) || c.Contains(a1) || !c.Contains(a2) {
+		t.Fatal("LRU replacement kept the wrong lines")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64)) // 2 sets x 1 way
+	c.Fill(0x000, false, false)
+	c.Lookup(0x000, true) // write marks dirty
+	v := c.Fill(0x100, false, false)
+	if !v.Valid || !v.Dirty {
+		t.Fatalf("victim = %+v, want dirty eviction", v)
+	}
+	if c.Stats.DirtyEvictions != 1 {
+		t.Errorf("DirtyEvictions = %d, want 1", c.Stats.DirtyEvictions)
+	}
+}
+
+func TestCacheDirtyFillMerge(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64))
+	c.Fill(0x000, false, false)
+	c.Fill(0x000, true, false) // writeback arrives for resident line
+	v := c.Fill(0x100, false, false)
+	if !v.Dirty {
+		t.Fatal("dirty fill did not mark resident line dirty")
+	}
+}
+
+func TestCachePrefetchLifecycle(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64))
+	c.Fill(0x000, false, true)
+	if c.Stats.PrefetchFills != 1 {
+		t.Fatalf("PrefetchFills = %d", c.Stats.PrefetchFills)
+	}
+	r := c.Lookup(0x000, false)
+	if !r.Hit || !r.FirstUseOfPF {
+		t.Fatalf("first demand use = %+v, want hit with FirstUseOfPF", r)
+	}
+	r = c.Lookup(0x000, false)
+	if !r.Hit || r.FirstUseOfPF {
+		t.Fatalf("second use = %+v, want plain hit", r)
+	}
+	if c.Stats.PrefetchDemand != 1 {
+		t.Errorf("PrefetchDemand = %d, want 1", c.Stats.PrefetchDemand)
+	}
+}
+
+func TestCacheUnusedPrefetchEviction(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64))
+	c.Fill(0x000, false, true)
+	v := c.Fill(0x100, false, false) // evicts the unused prefetch
+	if !v.UnusedPrefetch {
+		t.Fatalf("victim = %+v, want UnusedPrefetch", v)
+	}
+	if c.Stats.PrefetchUnused != 1 {
+		t.Errorf("PrefetchUnused = %d, want 1", c.Stats.PrefetchUnused)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64))
+	c.Fill(0x000, true, false)
+	v := c.Invalidate(0x000)
+	if !v.Valid || !v.Dirty {
+		t.Fatalf("invalidate victim = %+v, want valid dirty", v)
+	}
+	if c.Contains(0x000) {
+		t.Fatal("line still present after invalidate")
+	}
+	if v = c.Invalidate(0x000); v.Valid {
+		t.Fatal("second invalidate returned a victim")
+	}
+	if c.Stats.Invalidations != 1 {
+		t.Errorf("Invalidations = %d, want 1", c.Stats.Invalidations)
+	}
+}
+
+func TestCacheEvictHook(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64))
+	var got []struct {
+		addr  Addr
+		cause EvictCause
+	}
+	c.SetEvictHook(func(a Addr, cause EvictCause) {
+		got = append(got, struct {
+			addr  Addr
+			cause EvictCause
+		}{a, cause})
+	})
+	c.Fill(0x000, false, false)
+	c.Fill(0x100, false, false) // replacement of 0x000
+	c.Invalidate(0x100)
+	if len(got) != 2 {
+		t.Fatalf("hook fired %d times, want 2", len(got))
+	}
+	if got[0].addr != 0x000 || got[0].cause != CauseReplacement {
+		t.Errorf("first event = %+v", got[0])
+	}
+	if got[1].addr != 0x100 || got[1].cause != CauseInvalidation {
+		t.Errorf("second event = %+v", got[1])
+	}
+}
+
+func TestCacheTouch(t *testing.T) {
+	c := NewCache(testCacheConfig(256, 2, 64))
+	a0, a1, a2 := Addr(0x000), Addr(0x100), Addr(0x200)
+	c.Fill(a0, false, false)
+	c.Fill(a1, false, false)
+	if !c.Touch(a0) {
+		t.Fatal("Touch missed resident block")
+	}
+	c.Fill(a2, false, false)
+	if !c.Contains(a0) {
+		t.Fatal("touched block was evicted")
+	}
+	if c.Touch(0x4000) {
+		t.Fatal("Touch hit absent block")
+	}
+}
+
+func TestCacheBlockAddr(t *testing.T) {
+	c := NewCache(testCacheConfig(128, 1, 64))
+	if got := c.BlockAddr(0x1234); got != 0x1200 {
+		t.Errorf("BlockAddr(0x1234) = %#x, want 0x1200", uint64(got))
+	}
+}
+
+// TestCacheInvariantsQuick drives a random operation sequence and checks
+// structural invariants plus an exact model of residency.
+func TestCacheInvariantsQuick(t *testing.T) {
+	fn := func(seed int64, ops []uint16) bool {
+		c := NewCache(testCacheConfig(1024, 2, 64)) // 8 sets x 2 ways
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			addr := Addr(op&0x3FF) << 6 // 1024 distinct blocks
+			switch rng.Intn(4) {
+			case 0:
+				c.Lookup(addr, rng.Intn(2) == 0)
+			case 1:
+				c.Fill(addr, rng.Intn(2) == 0, rng.Intn(2) == 0)
+			case 2:
+				c.Invalidate(addr)
+			case 3:
+				c.Contains(addr)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Log(err)
+				return false
+			}
+			if c.ResidentBlocks() > 16 {
+				t.Logf("resident %d > capacity 16", c.ResidentBlocks())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheFillThenContains is a quick property: a filled block is always
+// resident immediately after the fill.
+func TestCacheFillThenContains(t *testing.T) {
+	c := NewCache(testCacheConfig(4096, 4, 64))
+	fn := func(raw uint32) bool {
+		addr := Addr(raw) << 3
+		c.Fill(addr, false, false)
+		return c.Contains(addr)
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCache accepted invalid geometry")
+		}
+	}()
+	NewCache(testCacheConfig(100, 3, 48))
+}

@@ -1,0 +1,41 @@
+package memsys
+
+// directory tracks which cores' L1 data caches may hold each block. It is a
+// deliberately simple full-map invalidation directory: a store by one core
+// invalidates every other sharer's L1 copy, which is the only coherence
+// behaviour SMS cares about (an invalidation ends a spatial-region
+// generation, §3.1).
+type directory struct {
+	sharers map[Addr]uint32
+}
+
+func newDirectory() *directory {
+	return &directory{sharers: make(map[Addr]uint32, 1<<16)}
+}
+
+// add records that core's L1D now holds block.
+func (d *directory) add(core int, block Addr) {
+	d.sharers[block] |= 1 << uint(core)
+}
+
+// remove records that core's L1D no longer holds block.
+func (d *directory) remove(core int, block Addr) {
+	m, ok := d.sharers[block]
+	if !ok {
+		return
+	}
+	m &^= 1 << uint(core)
+	if m == 0 {
+		delete(d.sharers, block)
+	} else {
+		d.sharers[block] = m
+	}
+}
+
+// others returns the sharer mask for block excluding core.
+func (d *directory) others(core int, block Addr) uint32 {
+	return d.sharers[block] &^ (1 << uint(core))
+}
+
+// len returns the number of tracked blocks (for tests).
+func (d *directory) len() int { return len(d.sharers) }

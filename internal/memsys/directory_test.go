@@ -1,0 +1,48 @@
+package memsys
+
+import "testing"
+
+func TestDirectoryAddRemove(t *testing.T) {
+	d := newDirectory()
+	d.add(0, 0x1000)
+	d.add(1, 0x1000)
+	d.add(3, 0x1000)
+
+	if m := d.others(0, 0x1000); m != 0b1010 {
+		t.Errorf("others(0) = %b, want 1010", m)
+	}
+	if m := d.others(1, 0x1000); m != 0b1001 {
+		t.Errorf("others(1) = %b, want 1001", m)
+	}
+
+	d.remove(1, 0x1000)
+	if m := d.others(0, 0x1000); m != 0b1000 {
+		t.Errorf("after remove: others(0) = %b, want 1000", m)
+	}
+
+	d.remove(0, 0x1000)
+	d.remove(3, 0x1000)
+	if d.len() != 0 {
+		t.Errorf("directory not empty after removing all sharers: %d", d.len())
+	}
+}
+
+func TestDirectoryRemoveAbsent(t *testing.T) {
+	d := newDirectory()
+	d.remove(2, 0x5000) // must not panic or create entries
+	if d.len() != 0 {
+		t.Error("remove on absent block created state")
+	}
+}
+
+func TestDirectoryIdempotentAdd(t *testing.T) {
+	d := newDirectory()
+	d.add(2, 0x40)
+	d.add(2, 0x40)
+	if d.len() != 1 {
+		t.Errorf("len = %d, want 1", d.len())
+	}
+	if m := d.others(0, 0x40); m != 0b100 {
+		t.Errorf("others = %b", m)
+	}
+}

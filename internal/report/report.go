@@ -1,0 +1,233 @@
+// Package report renders experiment results as aligned ASCII tables,
+// horizontal bar charts and CSV, in both plain-text and markdown flavours.
+// Every figure/table of the paper is reproduced as a Doc.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given headers.
+func NewTable(headers ...string) *Table { return &Table{Headers: headers} }
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells become empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row formatting each value with %v (floats as %.4g).
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.4g", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Text renders the table as aligned plain text.
+func (t *Table) Text() string {
+	w := t.widths()
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Headers)) + "\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bar renders a horizontal bar of the given fractional value against a
+// full-scale width (1.0 = width runes). Values above full scale are capped
+// with a '+' marker.
+func Bar(value, fullScale float64, width int) string {
+	if fullScale <= 0 || width <= 0 {
+		return ""
+	}
+	frac := value / fullScale
+	over := frac > 1
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	n := int(frac*float64(width) + 0.5)
+	b := strings.Repeat("#", n) + strings.Repeat(".", width-n)
+	if over {
+		b += "+"
+	}
+	return b
+}
+
+// StackedBar renders segments (each a fraction of fullScale) with distinct
+// runes, e.g. covered '#', overpredicted 'o'.
+func StackedBar(fullScale float64, width int, segments []float64, runes []rune) string {
+	if fullScale <= 0 || width <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	used := 0
+	for i, s := range segments {
+		n := int(s / fullScale * float64(width) * 1.0)
+		if used+n > width {
+			n = width - used
+		}
+		if n < 0 {
+			n = 0
+		}
+		b.WriteString(strings.Repeat(string(runes[i]), n))
+		used += n
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(".", width-used))
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage ("43.2%").
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// PctDelta formats a fractional change ("+3.2%").
+func PctDelta(f float64) string { return fmt.Sprintf("%+.2f%%", f*100) }
+
+// Section is one titled block of a Doc: prose, a table, or both.
+type Section struct {
+	Heading string
+	Body    string // prose (already formatted)
+	Table   *Table
+}
+
+// Doc is a renderable experiment report.
+type Doc struct {
+	ID       string // "fig4", "table3", ...
+	Title    string
+	Sections []Section
+}
+
+// Add appends a section.
+func (d *Doc) Add(s Section) { d.Sections = append(d.Sections, s) }
+
+// Text renders the whole document as plain text.
+func (d *Doc) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n\n", d.ID, d.Title)
+	for _, s := range d.Sections {
+		if s.Heading != "" {
+			fmt.Fprintf(&b, "-- %s --\n", s.Heading)
+		}
+		if s.Body != "" {
+			b.WriteString(s.Body)
+			if !strings.HasSuffix(s.Body, "\n") {
+				b.WriteByte('\n')
+			}
+		}
+		if s.Table != nil {
+			b.WriteString(s.Table.Text())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the whole document as markdown.
+func (d *Doc) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", d.ID, d.Title)
+	for _, s := range d.Sections {
+		if s.Heading != "" {
+			fmt.Fprintf(&b, "### %s\n\n", s.Heading)
+		}
+		if s.Body != "" {
+			b.WriteString(s.Body)
+			b.WriteString("\n\n")
+		}
+		if s.Table != nil {
+			b.WriteString(s.Table.Markdown())
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Name", "Value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Name") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	// Columns align: "Value" starts at the same offset in every line.
+	off := strings.Index(lines[0], "Value")
+	if lines[2][off:off+1] != "1" {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("A", "B", "C")
+	tb.AddRow("x")                    // short row padded
+	tb.AddRow("1", "2", "3", "extra") // long row truncated
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("A", "B", "C")
+	tb.AddRowf("s", 42, 3.14159)
+	if tb.Rows[0][1] != "42" || tb.Rows[0][2] != "3.142" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow("1", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| A | B |") || !strings.Contains(md, "|---|---|") {
+		t.Errorf("markdown:\n%s", md)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("A", "B")
+	tb.AddRow(`has,comma`, `has"quote`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"has,comma"`) || !strings.Contains(csv, `"has""quote"`) {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 1.0, 10); got != "#####....." {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(2.0, 1.0, 4); got != "####+" {
+		t.Errorf("over-scale Bar = %q", got)
+	}
+	if got := Bar(-1, 1, 4); got != "...." {
+		t.Errorf("negative Bar = %q", got)
+	}
+	if Bar(1, 0, 4) != "" || Bar(1, 1, 0) != "" {
+		t.Error("degenerate bars should be empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar(1.0, 10, []float64{0.3, 0.2}, []rune{'#', 'o'})
+	if got != "###oo....." {
+		t.Errorf("StackedBar = %q", got)
+	}
+	// Segments beyond full scale are clipped.
+	got = StackedBar(1.0, 4, []float64{0.9, 0.9}, []rune{'#', 'o'})
+	if len(got) != 4 {
+		t.Errorf("clipped bar = %q", got)
+	}
+}
+
+func TestPctFormats(t *testing.T) {
+	if Pct(0.432) != "43.2%" {
+		t.Errorf("Pct = %q", Pct(0.432))
+	}
+	if PctDelta(0.032) != "+3.20%" {
+		t.Errorf("PctDelta = %q", PctDelta(0.032))
+	}
+}
+
+func TestDocRendering(t *testing.T) {
+	tb := NewTable("X")
+	tb.AddRow("1")
+	d := &Doc{ID: "fig1", Title: "Test figure"}
+	d.Add(Section{Heading: "part a", Body: "some prose", Table: tb})
+
+	txt := d.Text()
+	for _, want := range []string{"fig1", "Test figure", "part a", "some prose", "X"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text missing %q:\n%s", want, txt)
+		}
+	}
+	md := d.Markdown()
+	if !strings.Contains(md, "## fig1") || !strings.Contains(md, "### part a") {
+		t.Errorf("Markdown:\n%s", md)
+	}
+}

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	pvcore "pvsim/internal/core"
+	"pvsim/internal/cpu"
+	"pvsim/internal/memsys"
+	"pvsim/internal/sms"
+	"pvsim/internal/stats"
+	"pvsim/internal/stride"
+)
+
+// Result carries everything the experiments need from one run.
+type Result struct {
+	Config Config
+
+	// Mem holds hierarchy statistics for the measured phase only.
+	Mem memsys.Stats
+
+	// Engines/PHTs/Proxies hold per-core prefetcher statistics (empty
+	// slices for the no-prefetch baseline); Strides is filled for the
+	// stride prefetcher kinds instead of Engines/PHTs.
+	Engines []sms.EngineStats
+	PHTs    []sms.PHTStats
+	Strides []stride.Stats
+	Proxies []pvcore.ProxyStats
+
+	// Timing results (zero for functional runs).
+	Instrs    float64
+	Cycles    float64 // max across cores (total elapsed)
+	IPC       float64 // aggregate: total instructions / elapsed cycles
+	WindowIPC []float64
+}
+
+// L1DReadMisses sums demand read misses across cores.
+func (r *Result) L1DReadMisses() uint64 {
+	var t uint64
+	for _, c := range r.Mem.Core {
+		t += c.L1DReadMisses
+	}
+	return t
+}
+
+// L1DReads sums demand reads across cores.
+func (r *Result) L1DReads() uint64 {
+	var t uint64
+	for _, c := range r.Mem.Core {
+		t += c.L1DReads
+	}
+	return t
+}
+
+// PrefetchUnused sums overpredicted (never-used) prefetches across cores.
+func (r *Result) PrefetchUnused() uint64 {
+	var t uint64
+	for _, c := range r.Mem.Core {
+		t += c.PrefetchUnused
+	}
+	return t
+}
+
+// PrefetchIssued sums issued prefetch requests across cores.
+func (r *Result) PrefetchIssued() uint64 {
+	var t uint64
+	for _, c := range r.Mem.Core {
+		t += c.PrefetchIssued
+	}
+	return t
+}
+
+// CoveredMisses sums demand reads served by prefetched lines.
+func (r *Result) CoveredMisses() uint64 {
+	var t uint64
+	for _, c := range r.Mem.Core {
+		t += c.L1DPrefetchHits
+	}
+	return t
+}
+
+// ProxyTotals sums PVProxy statistics across cores.
+func (r *Result) ProxyTotals() pvcore.ProxyStats {
+	var t pvcore.ProxyStats
+	for _, p := range r.Proxies {
+		t.Lookups += p.Lookups
+		t.Hits += p.Hits
+		t.Misses += p.Misses
+		t.InFlightMerges += p.InFlightMerges
+		t.MSHRStalls += p.MSHRStalls
+		t.Fetches += p.Fetches
+		t.FilledByL2 += p.FilledByL2
+		t.FilledByMem += p.FilledByMem
+		t.Writebacks += p.Writebacks
+		t.CleanEvictions += p.CleanEvictions
+		t.Invalidations += p.Invalidations
+	}
+	return t
+}
+
+// Run executes one configuration: warmup, stats reset, measured phase.
+func Run(cfg Config) Result {
+	sys := NewSystem(cfg)
+
+	for i := 0; i < cfg.Warmup; i++ {
+		sys.StepAll()
+	}
+	sys.ResetStats()
+	for c := range sys.prefetchers {
+		if d, ok := phtOf(sys, c).(*sms.DedicatedPHT); ok {
+			d.Stats = sms.PHTStats{}
+		}
+	}
+
+	n := sys.Hier.Config().Cores
+	windows := cfg.Windows
+	if windows <= 0 {
+		windows = 1
+	}
+	perWindow := cfg.Measure / windows
+	if perWindow == 0 {
+		perWindow = 1
+	}
+
+	startSnaps := snapshots(sys)
+	windowIPC := make([]float64, 0, windows)
+	prev := startSnaps
+	for w := 0; w < windows; w++ {
+		for i := 0; i < perWindow; i++ {
+			sys.StepAll()
+		}
+		if cfg.Timing {
+			cur := snapshots(sys)
+			var instr, cyc float64
+			for c := 0; c < n; c++ {
+				instr += cur[c].Instrs - prev[c].Instrs
+				w := cur[c].Cycles - prev[c].Cycles
+				if w > cyc {
+					cyc = w
+				}
+			}
+			if cyc > 0 {
+				windowIPC = append(windowIPC, instr/cyc)
+			}
+			prev = cur
+		}
+	}
+
+	res := Result{Config: cfg, Mem: sys.Hier.Stats, WindowIPC: windowIPC}
+	collectStats(sys, &res)
+	if cfg.Timing {
+		end := snapshots(sys)
+		for c := 0; c < n; c++ {
+			res.Instrs += end[c].Instrs - startSnaps[c].Instrs
+			cyc := end[c].Cycles - startSnaps[c].Cycles
+			if cyc > res.Cycles {
+				res.Cycles = cyc
+			}
+		}
+		if res.Cycles > 0 {
+			res.IPC = res.Instrs / res.Cycles
+		}
+	}
+	return res
+}
+
+// collectStats copies engine/PHT/proxy statistics from a finished system
+// into res.
+func collectStats(sys *System, res *Result) {
+	n := sys.Hier.Config().Cores
+	res.Mem = sys.Hier.Stats
+	switch sys.cfg.Prefetch.Kind {
+	case None:
+	case Stride, StrideVirtualized:
+		res.Strides = make([]stride.Stats, n)
+		for c := 0; c < n; c++ {
+			res.Strides[c] = sys.strides[c].Stats
+		}
+		if sys.cfg.Prefetch.Kind == StrideVirtualized {
+			res.Proxies = make([]pvcore.ProxyStats, n)
+			for c := 0; c < n; c++ {
+				res.Proxies[c] = sys.strides[c].Virtual().Proxy().Stats
+			}
+		}
+	default:
+		res.Engines = make([]sms.EngineStats, n)
+		res.PHTs = make([]sms.PHTStats, n)
+		for c := 0; c < n; c++ {
+			res.Engines[c] = sys.engines[c].Stats
+			switch pht := phtOf(sys, c).(type) {
+			case *sms.DedicatedPHT:
+				res.PHTs[c] = pht.Stats
+			case *sms.VirtualizedPHT:
+				res.PHTs[c] = pht.Stats
+			}
+		}
+		if sys.cfg.Prefetch.Kind == Virtualized {
+			res.Proxies = make([]pvcore.ProxyStats, n)
+			for c := 0; c < n; c++ {
+				res.Proxies[c] = sys.vphts[c].Proxy().Stats
+			}
+		}
+	}
+}
+
+func phtOf(sys *System, c int) sms.PatternStore {
+	if sys.engines[c] == nil {
+		return nil
+	}
+	return sys.engines[c].PHT()
+}
+
+func snapshots(sys *System) []cpu.Snapshot {
+	n := sys.Hier.Config().Cores
+	out := make([]cpu.Snapshot, n)
+	for c := 0; c < n; c++ {
+		out[c] = sys.cores[c].Snapshot()
+	}
+	return out
+}
+
+// Coverage is the Figure 4 metric set for one (workload, prefetcher) pair,
+// expressed as fractions of the *baseline* L1 read misses.
+type Coverage struct {
+	Label          string
+	Covered        float64 // misses eliminated by prefetching
+	Uncovered      float64 // misses remaining
+	Overpredicted  float64 // prefetched blocks evicted/invalidated unused
+	BaselineMisses uint64
+}
+
+// CoverageOf compares a prefetched run against its matched baseline.
+// Covered is computed as net eliminated misses (baseline - remaining), so
+// prefetch-induced pollution subtracts from coverage, as it should.
+func CoverageOf(baseline, run Result) Coverage {
+	b := float64(baseline.L1DReadMisses())
+	c := Coverage{Label: run.Config.Prefetch.Label(), BaselineMisses: baseline.L1DReadMisses()}
+	if b == 0 {
+		return c
+	}
+	remaining := float64(run.L1DReadMisses())
+	c.Covered = (b - remaining) / b
+	if c.Covered < 0 {
+		c.Covered = 0
+	}
+	c.Uncovered = remaining / b
+	c.Overpredicted = float64(run.PrefetchUnused()) / b
+	return c
+}
+
+// SpeedupOver returns the matched-pair aggregate speedup of run over
+// baseline with a 95% CI over sampling windows.
+func SpeedupOver(baseline, run Result) (stats.Interval, error) {
+	return stats.MatchedPairSpeedup(baseline.WindowIPC, run.WindowIPC)
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+
+	"pvsim/internal/workloads"
+)
+
+func TestSMARTSConfigValidate(t *testing.T) {
+	if err := DefaultSMARTS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SMARTSConfig{
+		{Samples: 0, DetailWarm: 1, Measure: 1, FastForward: 1},
+		{Samples: 1, DetailWarm: -1, Measure: 1, FastForward: 1},
+		{Samples: 1, DetailWarm: 1, Measure: 0, FastForward: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("plan %+v accepted", c)
+		}
+	}
+	want := 20 * (2000 + 1000 + 17000)
+	if got := DefaultSMARTS().TotalAccesses(); got != want {
+		t.Errorf("TotalAccesses = %d, want %d", got, want)
+	}
+}
+
+func TestRunSMARTSProducesSamples(t *testing.T) {
+	w, _ := workloads.ByName("Apache")
+	cfg := Default(w)
+	cfg.Warmup = 10_000
+	plan := SMARTSConfig{Samples: 8, DetailWarm: 500, Measure: 500, FastForward: 2000}
+	res := RunSMARTS(cfg, plan)
+	if len(res.WindowIPC) != 8 {
+		t.Fatalf("samples = %d, want 8", len(res.WindowIPC))
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+	for i, ipc := range res.WindowIPC {
+		if ipc <= 0 || ipc > 8 {
+			t.Errorf("sample %d IPC = %v implausible", i, ipc)
+		}
+	}
+}
+
+// TestSMARTSAgreesWithContiguous: sampled IPC should approximate the
+// contiguous-measurement IPC of the same configuration.
+func TestSMARTSAgreesWithContiguous(t *testing.T) {
+	w, _ := workloads.ByName("Qry17")
+	cfg := Default(w)
+	cfg.Warmup = 20_000
+	cfg.Measure = 40_000
+	cfg.Timing = true
+	cfg.Windows = 10
+	contig := Run(cfg)
+
+	plan := SMARTSConfig{Samples: 10, DetailWarm: 1000, Measure: 1000, FastForward: 2000}
+	sampled := RunSMARTS(cfg, plan)
+
+	ratio := sampled.IPC / contig.IPC
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Errorf("sampled IPC %v vs contiguous %v (ratio %.3f): sampling bias too large",
+			sampled.IPC, contig.IPC, ratio)
+	}
+}
+
+// TestSMARTSSpeedupMatchesContiguous: the headline comparison (PV-8 vs
+// baseline) must come out the same under either measurement methodology.
+func TestSMARTSSpeedupMatchesContiguous(t *testing.T) {
+	w, _ := workloads.ByName("Qry1")
+	base := Default(w)
+	base.Warmup = 20_000
+	base.Timing = true
+	plan := SMARTSConfig{Samples: 10, DetailWarm: 1000, Measure: 1000, FastForward: 1000}
+
+	pv := base
+	pv.Prefetch = PV8
+
+	sb := RunSMARTS(base, plan)
+	sp := RunSMARTS(pv, plan)
+	iv, err := SpeedupOver(sb, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Mean <= 1.05 {
+		t.Errorf("SMARTS speedup %v; expected clear Qry1 gain", iv)
+	}
+}
+
+func TestRunSMARTSPanicsOnBadPlan(t *testing.T) {
+	w, _ := workloads.ByName("Apache")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad plan accepted")
+		}
+	}()
+	RunSMARTS(Default(w), SMARTSConfig{})
+}

@@ -1,0 +1,283 @@
+package sim
+
+import (
+	pvcore "pvsim/internal/core"
+	"pvsim/internal/cpu"
+	"pvsim/internal/memsys"
+	"pvsim/internal/sms"
+	"pvsim/internal/stride"
+	"pvsim/internal/trace"
+)
+
+// DataPrefetcher is the training interface every data prefetcher satisfies:
+// it observes the L1D access stream and block evictions. sms.Engine and
+// stride.Engine both implement it.
+type DataPrefetcher interface {
+	OnAccess(now uint64, pc, addr memsys.Addr)
+	OnEvict(now uint64, addr memsys.Addr)
+}
+
+// System is one fully-wired CMP: generators, hierarchy, per-core SMS
+// engines (optional) and per-core timing models.
+type System struct {
+	cfg         Config
+	Hier        *memsys.Hierarchy
+	gens        []*trace.Generator
+	prefetchers []DataPrefetcher      // nil entries when Prefetch.Kind == None
+	engines     []*sms.Engine         // SMS view of prefetchers (nil for stride)
+	strides     []*stride.Engine      // stride view of prefetchers (nil for SMS)
+	vphts       []*sms.VirtualizedPHT // nil when not virtualized
+	cores       []*cpu.Core
+	clock       []uint64
+	// inflight tracks outstanding prefetch completion times per core for
+	// timeliness modeling (timing runs only).
+	inflight []map[memsys.Addr]uint64
+
+	// detail gates timing accounting; RunSMARTS turns it off during
+	// functional fast-forward gaps. Plain Run leaves it on throughout.
+	detail bool
+}
+
+// prefetchSink routes one core's SMS predictions into the hierarchy and the
+// in-flight table.
+type prefetchSink struct {
+	sys  *System
+	core int
+}
+
+// Prefetch implements sms.PrefetchSink.
+func (s prefetchSink) Prefetch(addr memsys.Addr, availableAt uint64) {
+	sys := s.sys
+	res, issued := sys.Hier.Prefetch(s.core, addr)
+	if !issued || !sys.cfg.Timing {
+		return
+	}
+	now := sys.clock[s.core]
+	start := availableAt
+	if now > start {
+		start = now
+	}
+	block := sys.Hier.L1D(s.core).BlockAddr(addr)
+	sys.inflight[s.core][block] = start + res.Latency
+}
+
+// NewSystem builds and wires a system; it panics on invalid configuration
+// (configs come from code, not user input).
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	hcfg := cfg.Hier
+	hcfg.PVRanges = pvRanges(cfg)
+	hcfg.OnChipOnlyPV = cfg.Prefetch.OnChipOnly
+	// Bank arbitration needs a advancing clock; timing runs provide one.
+	hcfg.ModelBankContention = cfg.Timing && hcfg.L2Banks > 0
+
+	n := hcfg.Cores
+	sys := &System{
+		cfg:         cfg,
+		detail:      true,
+		Hier:        memsys.New(hcfg),
+		gens:        make([]*trace.Generator, n),
+		prefetchers: make([]DataPrefetcher, n),
+		engines:     make([]*sms.Engine, n),
+		strides:     make([]*stride.Engine, n),
+		vphts:       make([]*sms.VirtualizedPHT, n),
+		cores:       make([]*cpu.Core, n),
+		clock:       make([]uint64, n),
+		inflight:    make([]map[memsys.Addr]uint64, n),
+	}
+
+	geom := sms.DefaultGeometry()
+	geom.BlockBytes = hcfg.L1D.BlockBytes
+	agt := cfg.Prefetch.AGT
+	if agt.FilterEntries == 0 && agt.AccumEntries == 0 {
+		agt = sms.DefaultAGTConfig()
+	}
+	ecfg := sms.Config{Geom: geom, AGT: agt}
+	if cfg.Timing {
+		// The §4.6 pattern buffer only constrains timing runs; functional
+		// runs never advance the clock, so entries could not retire.
+		ecfg.PatternBufEntries = sms.DefaultConfig().PatternBufEntries
+	}
+
+	var sharedTable *pvcore.Table[sms.PHTSet]
+	for c := 0; c < n; c++ {
+		sys.gens[c] = trace.NewGenerator(cfg.Workload.Params, cfg.Seed, c)
+		sys.inflight[c] = make(map[memsys.Addr]uint64)
+		sys.cores[c] = cpu.New(cpu.Config{
+			MemRatio:    cfg.Workload.Params.MemRatio,
+			MLP:         cfg.Workload.Params.MLP,
+			L1Latency:   hcfg.L1Latency,
+			FrontEndMLP: 2,
+		})
+
+		if cfg.Prefetch.Kind == Stride || cfg.Prefetch.Kind == StrideVirtualized {
+			scfg := stride.DefaultConfig(cfg.Prefetch.Sets)
+			scfg.Ways = cfg.Prefetch.Ways
+			scfg.BlockBytes = hcfg.L1D.BlockBytes
+			sink := prefetchSink{sys: sys, core: c}
+			var eng *stride.Engine
+			if cfg.Prefetch.Kind == Stride {
+				eng = stride.NewDedicated(scfg, sink)
+			} else {
+				eng = stride.NewVirtualized(scfg, proxyConfig(cfg, c), PVStart(c),
+					hcfg.L2.BlockBytes, pvcore.HierarchyBackend{H: sys.Hier}, sink)
+			}
+			sys.strides[c] = eng
+			sys.prefetchers[c] = eng
+			c := c
+			sys.Hier.SetL1DEvictHook(c, func(addr memsys.Addr, _ memsys.EvictCause) {
+				eng.OnEvict(sys.clock[c], addr)
+			})
+			continue
+		}
+
+		var pht sms.PatternStore
+		switch cfg.Prefetch.Kind {
+		case None:
+			continue
+		case Infinite:
+			pht = sms.NewInfinitePHT()
+		case Dedicated:
+			pht = sms.NewDedicatedPHT(cfg.Prefetch.Sets, cfg.Prefetch.Ways)
+		case Virtualized:
+			vcfg := sms.VPHTConfig{
+				Geom:       geom,
+				Sets:       cfg.Prefetch.Sets,
+				Ways:       cfg.Prefetch.Ways,
+				Start:      PVStart(c),
+				BlockBytes: hcfg.L2.BlockBytes,
+				Proxy:      proxyConfig(cfg, c),
+			}
+			be := pvcore.HierarchyBackend{H: sys.Hier}
+			if cfg.Prefetch.SharedTable {
+				vcfg.Start = PVStart(0)
+				if sharedTable == nil {
+					v := sms.NewVirtualizedPHT(vcfg, be)
+					sharedTable = v.Table()
+					sys.vphts[c] = v
+				} else {
+					sys.vphts[c] = sms.NewVirtualizedPHTWithTable(vcfg, sharedTable, be)
+				}
+			} else {
+				sys.vphts[c] = sms.NewVirtualizedPHT(vcfg, be)
+			}
+			pht = sys.vphts[c]
+		}
+
+		engine := sms.NewEngineConfig(ecfg, pht, prefetchSink{sys: sys, core: c})
+		sys.engines[c] = engine
+		sys.prefetchers[c] = engine
+		c := c
+		sys.Hier.SetL1DEvictHook(c, func(addr memsys.Addr, _ memsys.EvictCause) {
+			engine.OnEvict(sys.clock[c], addr)
+		})
+	}
+
+	if cfg.Prefetch.OnChipOnly && cfg.Prefetch.Kind == Virtualized {
+		sys.Hier.SetPVDropHook(func(addr memsys.Addr) {
+			for _, v := range sys.vphts {
+				if v == nil {
+					continue
+				}
+				if _, ok := v.Table().SetOf(addr); ok {
+					v.Table().Drop(addr)
+					return
+				}
+			}
+		})
+	}
+	return sys
+}
+
+// Engine returns core c's SMS engine (nil without SMS prefetching).
+func (s *System) Engine(c int) *sms.Engine { return s.engines[c] }
+
+// StrideEngine returns core c's stride engine (nil unless a stride kind).
+func (s *System) StrideEngine(c int) *stride.Engine { return s.strides[c] }
+
+// VPHT returns core c's virtualized PHT (nil unless virtualized).
+func (s *System) VPHT(c int) *sms.VirtualizedPHT { return s.vphts[c] }
+
+// Core returns core c's timing model.
+func (s *System) Core(c int) *cpu.Core { return s.cores[c] }
+
+// Clock returns core c's current cycle.
+func (s *System) Clock(c int) uint64 { return s.clock[c] }
+
+// Step advances core c by one memory instruction: instruction fetch, demand
+// access, timing accounting and SMS training.
+// SetDetail toggles detailed timing accounting (RunSMARTS uses it to
+// fast-forward functionally between samples).
+func (s *System) SetDetail(on bool) { s.detail = on }
+
+func (s *System) Step(c int) {
+	acc := s.gens[c].Next()
+	now := s.clock[c]
+	s.Hier.Tick(now)
+
+	fres := s.Hier.Fetch(c, acc.PC)
+	res := s.Hier.Data(c, acc.Addr, acc.Write)
+
+	if s.cfg.Timing && s.detail {
+		var extra uint64
+		block := s.Hier.L1D(c).BlockAddr(acc.Addr)
+		if ready, ok := s.inflight[c][block]; ok {
+			if ready > now {
+				extra = ready - now // prefetch was late: pay the residual
+			}
+			delete(s.inflight[c], block)
+		}
+		core := s.cores[c]
+		core.OnFetch(fres.Latency)
+		core.OnAccess(res.Latency, extra)
+		s.clock[c] = uint64(core.Cycles())
+		if len(s.inflight[c]) > 1<<15 {
+			s.pruneInflight(c)
+		}
+	}
+
+	if p := s.prefetchers[c]; p != nil {
+		p.OnAccess(s.clock[c], acc.PC, acc.Addr)
+	}
+}
+
+// pruneInflight drops completed prefetch records to bound memory.
+func (s *System) pruneInflight(c int) {
+	now := s.clock[c]
+	for b, ready := range s.inflight[c] {
+		if ready <= now {
+			delete(s.inflight[c], b)
+		}
+	}
+}
+
+// StepAll advances every core one access, round-robin. Cores interleave at
+// access granularity, approximating concurrent execution on the shared L2.
+func (s *System) StepAll() {
+	for c := 0; c < s.Hier.Config().Cores; c++ {
+		s.Step(c)
+	}
+}
+
+// ResetStats zeroes every statistic (hierarchy, engines, proxies) while
+// leaving microarchitectural state warm; Run calls it after warmup.
+func (s *System) ResetStats() {
+	s.Hier.Stats = memsys.Stats{Core: make([]memsys.CoreStats, s.Hier.Config().Cores)}
+	for c := range s.prefetchers {
+		if s.engines[c] != nil {
+			s.engines[c].Stats = sms.EngineStats{}
+		}
+		if s.strides[c] != nil {
+			s.strides[c].Stats = stride.Stats{}
+			if v := s.strides[c].Virtual(); v != nil {
+				v.Proxy().Stats = pvcore.ProxyStats{}
+			}
+		}
+		if s.vphts[c] != nil {
+			s.vphts[c].Stats = sms.PHTStats{}
+			s.vphts[c].Proxy().Stats = pvcore.ProxyStats{}
+		}
+	}
+}

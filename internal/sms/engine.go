@@ -1,0 +1,325 @@
+package sms
+
+import (
+	"fmt"
+
+	"pvsim/internal/memsys"
+)
+
+// AGTConfig sizes the active generation table. The paper's tuned values are
+// a 64-entry accumulation table and a 32-entry filter table (§4.1).
+type AGTConfig struct {
+	FilterEntries int
+	AccumEntries  int
+}
+
+// DefaultAGTConfig returns the paper's tuned AGT.
+func DefaultAGTConfig() AGTConfig { return AGTConfig{FilterEntries: 32, AccumEntries: 64} }
+
+// Validate checks the AGT configuration.
+func (c AGTConfig) Validate() error {
+	if c.FilterEntries <= 0 || c.AccumEntries <= 0 {
+		return fmt.Errorf("sms: non-positive AGT geometry %+v", c)
+	}
+	return nil
+}
+
+// Config assembles an SMS engine's knobs.
+type Config struct {
+	Geom Geometry
+	AGT  AGTConfig
+	// PatternBufEntries bounds concurrently in-flight delayed predictions
+	// (the 16-entry pattern buffer of §4.6 that holds patterns "while the
+	// corresponding sets are brought from the lower cache"). When a
+	// virtualized PHT answers with a future readyAt and the buffer is
+	// full, the prediction is dropped — advisory metadata, so only
+	// effectiveness suffers. Zero means unbounded; functional runs use
+	// that, since their clock never advances to retire entries.
+	PatternBufEntries int
+}
+
+// DefaultConfig returns the paper's tuned engine: default geometry, 32/64
+// AGT, 16-entry pattern buffer.
+func DefaultConfig() Config {
+	return Config{Geom: DefaultGeometry(), AGT: DefaultAGTConfig(), PatternBufEntries: 16}
+}
+
+// PrefetchSink receives the engine's predictions. availableAt is the cycle
+// at which the prediction became known — later than the access cycle when a
+// virtualized PHT had to fetch its set from the memory hierarchy, which is
+// exactly how virtualization perturbs prefetch timeliness.
+type PrefetchSink interface {
+	Prefetch(addr memsys.Addr, availableAt uint64)
+}
+
+// EngineStats counts SMS engine events.
+type EngineStats struct {
+	Accesses             uint64
+	Triggers             uint64 // first access of a region generation
+	PHTLookupHits        uint64
+	PredictedBlocks      uint64 // blocks handed to the prefetch sink
+	GenerationsStored    uint64 // accumulated patterns written to the PHT
+	FilterGenerations    uint64 // generations that ended with a single access
+	FilterCapacityEvicts uint64
+	AccumCapacityEvicts  uint64
+	EvictionsEndingGen   uint64 // L1 evictions/invalidations that closed a generation
+	PatternBufDrops      uint64 // delayed predictions dropped: pattern buffer full
+}
+
+type filterEntry struct {
+	tag     uint64
+	pc      memsys.Addr
+	offset  int
+	lastUse uint64
+	valid   bool
+}
+
+type accumEntry struct {
+	tag     uint64
+	key     uint32
+	pat     Pattern
+	lastUse uint64
+	valid   bool
+}
+
+// Engine is the SMS prefetcher of §3.1: it observes every L1 data access
+// and every L1 eviction/invalidation of one core, maintains the AGT, and
+// consults/updates a PatternStore (the PHT — dedicated or virtualized).
+type Engine struct {
+	geom Geometry
+	cfg  AGTConfig
+	pht  PatternStore
+	sink PrefetchSink
+
+	filter    []filterEntry
+	accum     []accumEntry
+	filterIdx map[uint64]int // region tag -> filter slot
+	accumIdx  map[uint64]int // region tag -> accumulation slot
+	tick      uint64
+
+	// patternBuf holds completion times of in-flight delayed predictions;
+	// nil when unbounded.
+	patternBuf    []uint64
+	patternBufCap int
+
+	Stats EngineStats
+}
+
+// NewEngine wires an SMS engine; it panics on invalid configuration.
+func NewEngine(geom Geometry, agt AGTConfig, pht PatternStore, sink PrefetchSink) *Engine {
+	return NewEngineConfig(Config{Geom: geom, AGT: agt}, pht, sink)
+}
+
+// NewEngineConfig wires an SMS engine with full configuration; it panics on
+// invalid configuration.
+func NewEngineConfig(cfg Config, pht PatternStore, sink PrefetchSink) *Engine {
+	if err := cfg.Geom.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.AGT.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.PatternBufEntries < 0 {
+		panic(fmt.Sprintf("sms: negative pattern buffer %d", cfg.PatternBufEntries))
+	}
+	e := &Engine{
+		geom:          cfg.Geom,
+		cfg:           cfg.AGT,
+		pht:           pht,
+		sink:          sink,
+		filter:        make([]filterEntry, cfg.AGT.FilterEntries),
+		accum:         make([]accumEntry, cfg.AGT.AccumEntries),
+		filterIdx:     make(map[uint64]int, cfg.AGT.FilterEntries),
+		accumIdx:      make(map[uint64]int, cfg.AGT.AccumEntries),
+		patternBufCap: cfg.PatternBufEntries,
+	}
+	if e.patternBufCap > 0 {
+		e.patternBuf = make([]uint64, 0, e.patternBufCap)
+	}
+	return e
+}
+
+// reservePatternBuf retires completed entries and tries to claim a slot for
+// a prediction that becomes available at ready.
+func (e *Engine) reservePatternBuf(now, ready uint64) bool {
+	if e.patternBufCap == 0 {
+		return true // unbounded
+	}
+	live := e.patternBuf[:0]
+	for _, r := range e.patternBuf {
+		if r > now {
+			live = append(live, r)
+		}
+	}
+	e.patternBuf = live
+	if len(e.patternBuf) >= e.patternBufCap {
+		return false
+	}
+	e.patternBuf = append(e.patternBuf, ready)
+	return true
+}
+
+// PHT returns the engine's pattern store.
+func (e *Engine) PHT() PatternStore { return e.pht }
+
+// Geometry returns the spatial-region geometry.
+func (e *Engine) Geometry() Geometry { return e.geom }
+
+// OnAccess observes one L1 data access (hit or miss — SMS trains on the
+// full access stream).
+func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
+	e.tick++
+	e.Stats.Accesses++
+	tag := e.geom.RegionTag(addr)
+	off := e.geom.Offset(addr)
+
+	if i, ok := e.accumIdx[tag]; ok {
+		a := &e.accum[i]
+		a.pat = a.pat.Set(off)
+		a.lastUse = e.tick
+		return
+	}
+
+	if i, ok := e.filterIdx[tag]; ok {
+		f := &e.filter[i]
+		if f.offset == off {
+			f.lastUse = e.tick
+			return
+		}
+		// Second distinct block: promote filter entry to the accumulation
+		// table, where the pattern is built.
+		key := e.geom.Key(f.pc, f.offset)
+		pat := Pattern(0).Set(f.offset).Set(off)
+		f.valid = false
+		delete(e.filterIdx, tag)
+		e.insertAccum(now, tag, key, pat)
+		return
+	}
+
+	// Triggering access: consult the PHT and open a new generation.
+	e.Stats.Triggers++
+	key := e.geom.Key(pc, off)
+	if pat, ready, ok := e.pht.Lookup(now, key); ok {
+		e.Stats.PHTLookupHits++
+		if ready > now && !e.reservePatternBuf(now, ready) {
+			// The set is still in flight and the pattern buffer is full:
+			// the prediction is lost (advisory, so merely less coverage).
+			e.Stats.PatternBufDrops++
+		} else {
+			for _, b := range pat.Blocks() {
+				if b == off {
+					continue // the trigger block is being demand-fetched already
+				}
+				e.Stats.PredictedBlocks++
+				e.sink.Prefetch(e.geom.BlockAddr(tag, b), ready)
+			}
+		}
+	}
+	e.insertFilter(tag, pc, off)
+}
+
+// OnEvict observes an L1 block leaving the cache (replacement or
+// invalidation). If the block belongs to an active generation the
+// generation ends: accumulated patterns move to the PHT, filter-only
+// generations are dropped.
+func (e *Engine) OnEvict(now uint64, blockAddr memsys.Addr) {
+	tag := e.geom.RegionTag(blockAddr)
+	off := e.geom.Offset(blockAddr)
+
+	if i, ok := e.accumIdx[tag]; ok {
+		a := &e.accum[i]
+		if a.pat.Has(off) {
+			e.Stats.EvictionsEndingGen++
+			e.closeAccum(now, i)
+		}
+		return
+	}
+	if i, ok := e.filterIdx[tag]; ok {
+		f := &e.filter[i]
+		if f.offset == off {
+			e.Stats.EvictionsEndingGen++
+			e.Stats.FilterGenerations++
+			f.valid = false
+			delete(e.filterIdx, tag)
+		}
+	}
+}
+
+// closeAccum ends the generation in accumulation slot i, storing its
+// pattern in the PHT.
+func (e *Engine) closeAccum(now uint64, i int) {
+	a := &e.accum[i]
+	e.pht.Store(now, a.key, a.pat)
+	e.Stats.GenerationsStored++
+	delete(e.accumIdx, a.tag)
+	a.valid = false
+}
+
+func (e *Engine) insertFilter(tag uint64, pc memsys.Addr, off int) {
+	victim := -1
+	for i := range e.filter {
+		if !e.filter[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(e.filter); i++ {
+			if e.filter[i].lastUse < e.filter[victim].lastUse {
+				victim = i
+			}
+		}
+		// Capacity eviction of a single-access region: nothing is learned.
+		delete(e.filterIdx, e.filter[victim].tag)
+		e.Stats.FilterCapacityEvicts++
+	}
+	e.tick++
+	e.filter[victim] = filterEntry{tag: tag, pc: pc, offset: off, lastUse: e.tick, valid: true}
+	e.filterIdx[tag] = victim
+}
+
+func (e *Engine) insertAccum(now uint64, tag uint64, key uint32, pat Pattern) {
+	victim := -1
+	for i := range e.accum {
+		if !e.accum[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(e.accum); i++ {
+			if e.accum[i].lastUse < e.accum[victim].lastUse {
+				victim = i
+			}
+		}
+		// Capacity eviction ends the victim's generation early; its
+		// partial pattern still moves to the PHT.
+		e.Stats.AccumCapacityEvicts++
+		e.closeAccum(now, victim)
+	}
+	e.tick++
+	e.accum[victim] = accumEntry{tag: tag, key: key, pat: pat, lastUse: e.tick, valid: true}
+	e.accumIdx[tag] = victim
+}
+
+// ActiveGenerations reports (filter, accumulation) occupancy; tests use it.
+func (e *Engine) ActiveGenerations() (filter, accum int) {
+	return len(e.filterIdx), len(e.accumIdx)
+}
+
+// CheckInvariants validates index-map/array consistency.
+func (e *Engine) CheckInvariants() error {
+	for tag, i := range e.filterIdx {
+		if !e.filter[i].valid || e.filter[i].tag != tag {
+			return fmt.Errorf("sms: filter index desync at tag %#x", tag)
+		}
+	}
+	for tag, i := range e.accumIdx {
+		if !e.accum[i].valid || e.accum[i].tag != tag {
+			return fmt.Errorf("sms: accum index desync at tag %#x", tag)
+		}
+	}
+	return nil
+}

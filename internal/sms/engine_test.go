@@ -1,0 +1,310 @@
+package sms
+
+import (
+	"testing"
+
+	"pvsim/internal/memsys"
+)
+
+// captureSink records prefetch requests.
+type captureSink struct {
+	addrs []memsys.Addr
+	avail []uint64
+}
+
+func (s *captureSink) Prefetch(a memsys.Addr, at uint64) {
+	s.addrs = append(s.addrs, a)
+	s.avail = append(s.avail, at)
+}
+
+func newTestEngine(t *testing.T) (*Engine, *InfinitePHT, *captureSink) {
+	t.Helper()
+	pht := NewInfinitePHT()
+	sink := &captureSink{}
+	e := NewEngine(DefaultGeometry(), DefaultAGTConfig(), pht, sink)
+	return e, pht, sink
+}
+
+const regionBytes = 2048
+
+// touch replays accesses at (pc, region base, offsets...).
+func touch(e *Engine, pc memsys.Addr, base memsys.Addr, offs ...int) {
+	for _, off := range offs {
+		e.OnAccess(0, pc, base+memsys.Addr(off*64))
+	}
+}
+
+func TestTriggerThenPromotion(t *testing.T) {
+	e, _, _ := newTestEngine(t)
+	base := memsys.Addr(0x10000)
+
+	e.OnAccess(0, 0x400, base) // trigger: filter
+	if f, a := e.ActiveGenerations(); f != 1 || a != 0 {
+		t.Fatalf("after trigger: filter=%d accum=%d", f, a)
+	}
+	e.OnAccess(0, 0x404, base+64) // second block: promote
+	if f, a := e.ActiveGenerations(); f != 0 || a != 1 {
+		t.Fatalf("after promotion: filter=%d accum=%d", f, a)
+	}
+	if e.Stats.Triggers != 1 {
+		t.Errorf("Triggers = %d", e.Stats.Triggers)
+	}
+}
+
+func TestSameBlockDoesNotPromote(t *testing.T) {
+	e, _, _ := newTestEngine(t)
+	base := memsys.Addr(0x10000)
+	touch(e, 0x400, base, 3, 3, 3) // repeats of the trigger block
+	if f, a := e.ActiveGenerations(); f != 1 || a != 0 {
+		t.Fatalf("filter=%d accum=%d, want 1/0", f, a)
+	}
+	if e.Stats.Triggers != 1 {
+		t.Errorf("Triggers = %d, want 1 (same region)", e.Stats.Triggers)
+	}
+}
+
+func TestGenerationEndStoresPattern(t *testing.T) {
+	e, pht, _ := newTestEngine(t)
+	base := memsys.Addr(0x10000)
+	pc := memsys.Addr(0x400)
+
+	touch(e, pc, base, 2, 5, 9)
+	e.OnEvict(0, base+5*64) // evict an accessed block: generation ends
+
+	if e.Stats.GenerationsStored != 1 {
+		t.Fatalf("GenerationsStored = %d", e.Stats.GenerationsStored)
+	}
+	key := e.Geometry().Key(pc, 2) // trigger offset was 2
+	pat, _, ok := pht.Lookup(0, key)
+	if !ok {
+		t.Fatal("pattern not in PHT")
+	}
+	want := Pattern(0).Set(2).Set(5).Set(9)
+	if pat != want {
+		t.Errorf("pattern = %v, want %v", pat, want)
+	}
+	if f, a := e.ActiveGenerations(); f != 0 || a != 0 {
+		t.Errorf("AGT not freed: filter=%d accum=%d", f, a)
+	}
+}
+
+func TestEvictionOfUntouchedBlockIgnored(t *testing.T) {
+	e, _, _ := newTestEngine(t)
+	base := memsys.Addr(0x10000)
+	touch(e, 0x400, base, 2, 5)
+	e.OnEvict(0, base+20*64) // block 20 was never accessed this generation
+	if e.Stats.GenerationsStored != 0 {
+		t.Error("generation ended by untouched block")
+	}
+	if _, a := e.ActiveGenerations(); a != 1 {
+		t.Error("generation should still be active")
+	}
+}
+
+func TestFilterOnlyGenerationDropped(t *testing.T) {
+	e, pht, _ := newTestEngine(t)
+	base := memsys.Addr(0x10000)
+	touch(e, 0x400, base, 7)
+	e.OnEvict(0, base+7*64)
+	if e.Stats.FilterGenerations != 1 {
+		t.Errorf("FilterGenerations = %d", e.Stats.FilterGenerations)
+	}
+	if pht.Len() != 0 {
+		t.Error("single-access generation stored a pattern")
+	}
+}
+
+func TestPredictionIssuesPrefetches(t *testing.T) {
+	e, _, sink := newTestEngine(t)
+	pc := memsys.Addr(0x400)
+	base1 := memsys.Addr(0x10000)
+
+	// Train: generation at region 1 with blocks {2,5,9}, trigger offset 2.
+	touch(e, pc, base1, 2, 5, 9)
+	e.OnEvict(0, base1+2*64)
+
+	// New region, same PC, trigger at the same offset -> prediction.
+	base2 := memsys.Addr(0x40000)
+	e.OnAccess(0, pc, base2+2*64)
+
+	if e.Stats.PHTLookupHits != 1 {
+		t.Fatalf("PHTLookupHits = %d", e.Stats.PHTLookupHits)
+	}
+	// Blocks 5 and 9 prefetched (trigger block 2 excluded).
+	want := []memsys.Addr{base2 + 5*64, base2 + 9*64}
+	if len(sink.addrs) != 2 || sink.addrs[0] != want[0] || sink.addrs[1] != want[1] {
+		t.Errorf("prefetches = %v, want %v", sink.addrs, want)
+	}
+	if e.Stats.PredictedBlocks != 2 {
+		t.Errorf("PredictedBlocks = %d", e.Stats.PredictedBlocks)
+	}
+}
+
+func TestDifferentTriggerOffsetDifferentKey(t *testing.T) {
+	e, _, sink := newTestEngine(t)
+	pc := memsys.Addr(0x400)
+	base1 := memsys.Addr(0x10000)
+	touch(e, pc, base1, 2, 5)
+	e.OnEvict(0, base1+2*64)
+
+	// Same PC but trigger offset 3: different key, no prediction.
+	base2 := memsys.Addr(0x40000)
+	e.OnAccess(0, pc, base2+3*64)
+	if len(sink.addrs) != 0 {
+		t.Errorf("prediction fired for wrong offset: %v", sink.addrs)
+	}
+}
+
+func TestFilterCapacityEviction(t *testing.T) {
+	e, _, _ := newTestEngine(t)
+	// 33 distinct regions with single accesses overflow the 32-entry filter.
+	for i := 0; i < 33; i++ {
+		e.OnAccess(0, 0x400, memsys.Addr(0x100000+i*regionBytes))
+	}
+	if e.Stats.FilterCapacityEvicts != 1 {
+		t.Errorf("FilterCapacityEvicts = %d, want 1", e.Stats.FilterCapacityEvicts)
+	}
+	if f, _ := e.ActiveGenerations(); f != 32 {
+		t.Errorf("filter occupancy = %d, want 32", f)
+	}
+}
+
+func TestAccumCapacityEvictionStoresPattern(t *testing.T) {
+	e, pht, _ := newTestEngine(t)
+	// 65 promoted generations overflow the 64-entry accumulation table;
+	// the evicted one must still reach the PHT.
+	for i := 0; i < 65; i++ {
+		base := memsys.Addr(0x100000 + i*regionBytes)
+		touch(e, memsys.Addr(0x400+i*4), base, 1, 2)
+	}
+	if e.Stats.AccumCapacityEvicts != 1 {
+		t.Fatalf("AccumCapacityEvicts = %d", e.Stats.AccumCapacityEvicts)
+	}
+	if e.Stats.GenerationsStored != 1 {
+		t.Errorf("GenerationsStored = %d", e.Stats.GenerationsStored)
+	}
+	if pht.Len() != 1 {
+		t.Errorf("PHT len = %d", pht.Len())
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadyAtPropagatesToSink(t *testing.T) {
+	// A pattern store whose PHT reports future readiness must delay the
+	// prefetch availability, not drop it.
+	pht := &delayedPHT{delay: 100}
+	sink := &captureSink{}
+	e := NewEngine(DefaultGeometry(), DefaultAGTConfig(), pht, sink)
+
+	pht.pat = Pattern(0).Set(2).Set(7)
+	e.OnAccess(50, 0x400, memsys.Addr(0x10000)+2*64)
+	if len(sink.avail) != 1 || sink.avail[0] != 150 {
+		t.Errorf("availableAt = %v, want [150]", sink.avail)
+	}
+}
+
+// delayedPHT always hits with a fixed pattern after a delay.
+type delayedPHT struct {
+	pat   Pattern
+	delay uint64
+}
+
+func (d *delayedPHT) Lookup(now uint64, _ uint32) (Pattern, uint64, bool) {
+	return d.pat, now + d.delay, d.pat != 0
+}
+func (d *delayedPHT) Store(uint64, uint32, Pattern) {}
+func (d *delayedPHT) Name() string                  { return "delayed" }
+
+func TestEngineInvariantsUnderChurn(t *testing.T) {
+	e, _, _ := newTestEngine(t)
+	x := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		v := x
+		x = x*6364136223846793005 + 1442695040888963407
+		pc := memsys.Addr(0x400 + (v&0xFF)*4)
+		base := memsys.Addr(0x100000 + (v>>8&0x3F)*regionBytes)
+		off := int(v >> 16 & 31)
+		if v>>24&7 == 0 {
+			e.OnEvict(0, base+memsys.Addr(off*64))
+		} else {
+			e.OnAccess(0, pc, base+memsys.Addr(off*64))
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAGTConfigValidate(t *testing.T) {
+	if err := DefaultAGTConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (AGTConfig{FilterEntries: 0, AccumEntries: 64}).Validate(); err == nil {
+		t.Error("zero filter accepted")
+	}
+}
+
+func TestDefaultAGTIsPaperTuned(t *testing.T) {
+	cfg := DefaultAGTConfig()
+	if cfg.FilterEntries != 32 || cfg.AccumEntries != 64 {
+		t.Errorf("AGT = %+v, want 32-entry filter / 64-entry accumulation (§4.1)", cfg)
+	}
+}
+
+func TestPatternBufferDropsWhenFull(t *testing.T) {
+	pht := &delayedPHT{delay: 1000, pat: Pattern(0b110)}
+	sink := &captureSink{}
+	e := NewEngineConfig(Config{
+		Geom: DefaultGeometry(), AGT: DefaultAGTConfig(), PatternBufEntries: 2,
+	}, pht, sink)
+
+	// Three triggers at the same cycle: the first two reserve the buffer,
+	// the third is dropped.
+	for i := 0; i < 3; i++ {
+		e.OnAccess(100, memsys.Addr(0x400+i*4), memsys.Addr(0x100000+i*regionBytes)+1*64)
+	}
+	if e.Stats.PatternBufDrops != 1 {
+		t.Fatalf("PatternBufDrops = %d, want 1", e.Stats.PatternBufDrops)
+	}
+	if len(sink.addrs) != 2 { // two predictions of one block each (bit 2; bit 1 is trigger)
+		t.Fatalf("prefetches = %d, want 2", len(sink.addrs))
+	}
+
+	// After the fetches retire, the buffer frees and predictions resume.
+	e.OnAccess(2000, memsys.Addr(0x500), memsys.Addr(0x200000)+1*64)
+	if e.Stats.PatternBufDrops != 1 {
+		t.Errorf("drop counted after buffer freed: %d", e.Stats.PatternBufDrops)
+	}
+}
+
+func TestPatternBufferUnboundedWhenZero(t *testing.T) {
+	pht := &delayedPHT{delay: 1000, pat: Pattern(0b110)}
+	sink := &captureSink{}
+	e := NewEngineConfig(Config{Geom: DefaultGeometry(), AGT: DefaultAGTConfig()}, pht, sink)
+	for i := 0; i < 100; i++ {
+		e.OnAccess(0, memsys.Addr(0x400+i*4), memsys.Addr(0x100000+i*regionBytes)+1*64)
+	}
+	if e.Stats.PatternBufDrops != 0 {
+		t.Errorf("unbounded buffer dropped %d predictions", e.Stats.PatternBufDrops)
+	}
+}
+
+func TestImmediatePredictionsBypassPatternBuffer(t *testing.T) {
+	// Dedicated-PHT answers (ready == now) never consume buffer slots.
+	pht := NewInfinitePHT()
+	sink := &captureSink{}
+	e := NewEngineConfig(Config{
+		Geom: DefaultGeometry(), AGT: DefaultAGTConfig(), PatternBufEntries: 1,
+	}, pht, sink)
+	for i := 0; i < 50; i++ {
+		pht.Store(0, e.Geometry().Key(memsys.Addr(0x400+i*4), 1), Pattern(0b110))
+	}
+	for i := 0; i < 50; i++ {
+		e.OnAccess(100, memsys.Addr(0x400+i*4), memsys.Addr(0x100000+i*regionBytes)+1*64)
+	}
+	if e.Stats.PatternBufDrops != 0 {
+		t.Errorf("immediate predictions dropped: %d", e.Stats.PatternBufDrops)
+	}
+}

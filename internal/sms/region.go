@@ -1,0 +1,115 @@
+// Package sms implements the Spatial Memory Streaming data prefetcher
+// (Somogyi et al., ISCA 2006 — reference [27] of the paper) exactly as
+// §3.1 describes it, plus the virtualized variant of §3.2 built on the
+// Predictor Virtualization framework in internal/core.
+//
+// SMS splits memory into fixed-size spatial regions, records which blocks
+// inside a region are touched between a triggering access and the first
+// eviction/invalidation of any touched block (a "generation"), and stores
+// the resulting bit-vector pattern in a pattern history table (PHT) indexed
+// by (PC, trigger block offset). At the next trigger with the same index it
+// streams the predicted blocks into the L1.
+package sms
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pvsim/internal/memsys"
+)
+
+// Geometry fixes the spatial-region layout. The paper uses 64-byte blocks
+// and 32-block (2KB) regions, with PHT indices formed from 16 PC bits and a
+// 5-bit trigger offset.
+type Geometry struct {
+	BlockBytes   int // cache block size
+	RegionBlocks int // blocks per spatial region (pattern width)
+	PCIndexBits  int // PC bits folded into the PHT index
+}
+
+// DefaultGeometry is the paper's tuned configuration.
+func DefaultGeometry() Geometry {
+	return Geometry{BlockBytes: 64, RegionBlocks: 32, PCIndexBits: 16}
+}
+
+// Validate checks the geometry.
+func (g Geometry) Validate() error {
+	if g.BlockBytes <= 0 || g.BlockBytes&(g.BlockBytes-1) != 0 {
+		return fmt.Errorf("sms: block size %d not a positive power of two", g.BlockBytes)
+	}
+	if g.RegionBlocks <= 1 || g.RegionBlocks > 64 || g.RegionBlocks&(g.RegionBlocks-1) != 0 {
+		return fmt.Errorf("sms: region of %d blocks unsupported", g.RegionBlocks)
+	}
+	if g.PCIndexBits <= 0 || g.PCIndexBits > 32 {
+		return fmt.Errorf("sms: %d PC index bits unsupported", g.PCIndexBits)
+	}
+	return nil
+}
+
+// RegionBytes is the spatial-region size (2KB by default).
+func (g Geometry) RegionBytes() int { return g.BlockBytes * g.RegionBlocks }
+
+func (g Geometry) blockBits() uint  { return uint(bits.TrailingZeros(uint(g.BlockBytes))) }
+func (g Geometry) offsetBits() uint { return uint(bits.TrailingZeros(uint(g.RegionBlocks))) }
+
+// IndexBits is the width of the PHT index (21 with defaults: 16 PC bits
+// concatenated with a 5-bit offset).
+func (g Geometry) IndexBits() uint { return uint(g.PCIndexBits) + g.offsetBits() }
+
+// RegionTag returns the region identifier containing addr.
+func (g Geometry) RegionTag(addr memsys.Addr) uint64 {
+	return uint64(addr) >> (g.blockBits() + g.offsetBits())
+}
+
+// RegionBase returns the first byte address of the region with a tag.
+func (g Geometry) RegionBase(tag uint64) memsys.Addr {
+	return memsys.Addr(tag << (g.blockBits() + g.offsetBits()))
+}
+
+// Offset returns the block offset of addr inside its region (0..RegionBlocks-1).
+func (g Geometry) Offset(addr memsys.Addr) int {
+	return int(uint64(addr)>>g.blockBits()) & (g.RegionBlocks - 1)
+}
+
+// BlockAddr returns the block address for (region tag, offset).
+func (g Geometry) BlockAddr(tag uint64, offset int) memsys.Addr {
+	return g.RegionBase(tag) + memsys.Addr(offset<<g.blockBits())
+}
+
+// Key builds the PHT index from the triggering access: PC index bits
+// concatenated with the trigger block offset (Figure 2). The two
+// instruction-alignment bits of the PC are dropped first so that the set
+// index gets real entropy, as any hardware implementation would.
+func (g Geometry) Key(pc memsys.Addr, offset int) uint32 {
+	pcBits := uint32(pc>>2) & (1<<uint(g.PCIndexBits) - 1)
+	return pcBits<<g.offsetBits() | uint32(offset)
+}
+
+// Pattern is a spatial bit-vector: bit i set means block offset i of the
+// region was (or is predicted to be) accessed during a generation.
+type Pattern uint64
+
+// Set returns the pattern with block offset i marked.
+func (p Pattern) Set(i int) Pattern { return p | 1<<uint(i) }
+
+// Has reports whether block offset i is marked.
+func (p Pattern) Has(i int) bool { return p&(1<<uint(i)) != 0 }
+
+// Count returns the number of marked blocks.
+func (p Pattern) Count() int { return bits.OnesCount64(uint64(p)) }
+
+// Blocks returns the offsets of marked blocks in ascending order.
+func (p Pattern) Blocks() []int {
+	out := make([]int, 0, p.Count())
+	for v := uint64(p); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// Overlap counts blocks marked in both patterns.
+func (p Pattern) Overlap(q Pattern) int { return bits.OnesCount64(uint64(p & q)) }
+
+func (p Pattern) String() string { return fmt.Sprintf("%#x(%d blocks)", uint64(p), p.Count()) }

@@ -1,0 +1,128 @@
+package sms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pvsim/internal/memsys"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	g := DefaultGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.RegionBytes() != 2048 {
+		t.Errorf("RegionBytes = %d, want 2048 (32 x 64B)", g.RegionBytes())
+	}
+	if g.IndexBits() != 21 {
+		t.Errorf("IndexBits = %d, want 21 (16 PC + 5 offset)", g.IndexBits())
+	}
+}
+
+func TestGeometryValidateRejects(t *testing.T) {
+	bad := []Geometry{
+		{BlockBytes: 48, RegionBlocks: 32, PCIndexBits: 16},
+		{BlockBytes: 64, RegionBlocks: 1, PCIndexBits: 16},
+		{BlockBytes: 64, RegionBlocks: 33, PCIndexBits: 16},
+		{BlockBytes: 64, RegionBlocks: 128, PCIndexBits: 16},
+		{BlockBytes: 64, RegionBlocks: 32, PCIndexBits: 0},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %+v accepted", g)
+		}
+	}
+}
+
+func TestRegionDecomposition(t *testing.T) {
+	g := DefaultGeometry()
+	addr := memsys.Addr(0x12345678)
+	tag := g.RegionTag(addr)
+	off := g.Offset(addr)
+	if base := g.RegionBase(tag); base != 0x12345678&^memsys.Addr(2047) {
+		t.Errorf("RegionBase = %#x", uint64(base))
+	}
+	if got := g.BlockAddr(tag, off); got != addr&^63 {
+		t.Errorf("BlockAddr = %#x, want %#x", uint64(got), uint64(addr&^63))
+	}
+}
+
+// TestRegionRoundTripQuick: decompose-recompose is the identity on block
+// addresses.
+func TestRegionRoundTripQuick(t *testing.T) {
+	g := DefaultGeometry()
+	fn := func(raw uint64) bool {
+		addr := memsys.Addr(raw &^ 63)
+		return g.BlockAddr(g.RegionTag(addr), g.Offset(addr)) == addr
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyComposition(t *testing.T) {
+	g := DefaultGeometry()
+	// Key = (pc>>2) low 16 bits, concatenated with 5-bit offset.
+	key := g.Key(0x4000, 7)
+	want := uint32(0x1000)<<5 | 7
+	if key != want {
+		t.Errorf("Key = %#x, want %#x", key, want)
+	}
+}
+
+// TestKeyOffsetInjective: different offsets with the same PC give different
+// keys, and the offset is recoverable.
+func TestKeyOffsetInjective(t *testing.T) {
+	g := DefaultGeometry()
+	fn := func(pcRaw uint32, offRaw uint8) bool {
+		pc := memsys.Addr(pcRaw)
+		off := int(offRaw) % 32
+		key := g.Key(pc, off)
+		return int(key&31) == off
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPatternOps(t *testing.T) {
+	var p Pattern
+	p = p.Set(0).Set(5).Set(31)
+	if !p.Has(0) || !p.Has(5) || !p.Has(31) || p.Has(1) {
+		t.Fatal("Has wrong")
+	}
+	if p.Count() != 3 {
+		t.Errorf("Count = %d", p.Count())
+	}
+	blocks := p.Blocks()
+	if len(blocks) != 3 || blocks[0] != 0 || blocks[1] != 5 || blocks[2] != 31 {
+		t.Errorf("Blocks = %v", blocks)
+	}
+	q := Pattern(0).Set(5).Set(6)
+	if p.Overlap(q) != 1 {
+		t.Errorf("Overlap = %d", p.Overlap(q))
+	}
+}
+
+// TestPatternBlocksQuick: Blocks() returns exactly the set bits, ascending.
+func TestPatternBlocksQuick(t *testing.T) {
+	fn := func(raw uint32) bool {
+		p := Pattern(raw)
+		blocks := p.Blocks()
+		if len(blocks) != p.Count() {
+			return false
+		}
+		prev := -1
+		for _, b := range blocks {
+			if !p.Has(b) || b <= prev {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package sms
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// StorageBreakdown reproduces one row of Table 3: the on-chip SRAM a
+// dedicated PHT configuration requires.
+type StorageBreakdown struct {
+	Sets         int
+	Ways         int
+	TagBits      int
+	PatternBits  int
+	TagBytes     float64
+	PatternBytes float64
+	TotalBytes   float64
+}
+
+// Storage computes exact storage for a sets x ways PHT under geometry g.
+// Tags are IndexBits - log2(sets) wide; patterns are RegionBlocks wide.
+//
+// The paper's Table 3 charges 40 bits per pattern for the 16- and 8-set
+// rows (880B and 440B) but 32 bits for the 1K rows; this function uses the
+// architectural 32 bits everywhere, and EXPERIMENTS.md records the
+// resulting small deviation on those two rows.
+func Storage(g Geometry, sets, ways int) StorageBreakdown {
+	setBits := bits.TrailingZeros(uint(sets))
+	tagBits := int(g.IndexBits()) - setBits
+	entries := sets * ways
+	return StorageBreakdown{
+		Sets:         sets,
+		Ways:         ways,
+		TagBits:      tagBits,
+		PatternBits:  g.RegionBlocks,
+		TagBytes:     float64(entries*tagBits) / 8,
+		PatternBytes: float64(entries*g.RegionBlocks) / 8,
+		TotalBytes:   float64(entries*(tagBits+g.RegionBlocks)) / 8,
+	}
+}
+
+// KB formats bytes as kilobytes the way the paper does (binary KB).
+func KB(bytes float64) string {
+	if bytes < 1024 {
+		return fmt.Sprintf("%.0fB", bytes)
+	}
+	return fmt.Sprintf("%.3fKB", bytes/1024)
+}
+
+func (s StorageBreakdown) String() string {
+	return fmt.Sprintf("%d-%d: tags %s + patterns %s = %s",
+		s.Sets, s.Ways, KB(s.TagBytes), KB(s.PatternBytes), KB(s.TotalBytes))
+}

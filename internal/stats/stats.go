@@ -1,0 +1,118 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: means, standard deviations, Student-t 95% confidence intervals for
+// SMARTS-style sampled measurements, and matched-pair comparison (Ekman &
+// Stenström [9]) for speedup error bars.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// tCritical95 approximates the two-sided 95% Student-t critical value for
+// df degrees of freedom.
+func tCritical95(df int) float64 {
+	table := map[int]float64{
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		12: 2.179, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+		40: 2.021, 60: 2.000, 120: 1.980,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if v, ok := table[df]; ok {
+		return v
+	}
+	best, bestV := 1, 12.706
+	for k, v := range table {
+		if k <= df && k > best {
+			best, bestV = k, v
+		}
+	}
+	if df > 120 {
+		return 1.96
+	}
+	return bestV
+}
+
+// Interval is a mean with a symmetric half-width at 95% confidence.
+type Interval struct {
+	Mean float64
+	Half float64 // half-width of the 95% CI
+	N    int
+}
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", iv.Mean, iv.Half, iv.N)
+}
+
+// Lo returns the interval's lower bound.
+func (iv Interval) Lo() float64 { return iv.Mean - iv.Half }
+
+// Hi returns the interval's upper bound.
+func (iv Interval) Hi() float64 { return iv.Mean + iv.Half }
+
+// CI95 builds the 95% confidence interval of the mean of xs.
+func CI95(xs []float64) Interval {
+	n := len(xs)
+	iv := Interval{Mean: Mean(xs), N: n}
+	if n < 2 {
+		return iv
+	}
+	iv.Half = tCritical95(n-1) * StdDev(xs) / math.Sqrt(float64(n))
+	return iv
+}
+
+// MatchedPairSpeedup compares per-window measurements of a baseline and an
+// improved configuration taken on identical traces. It forms per-window
+// speedups and returns their CI, which cancels workload phase variance the
+// way matched-pair sampling does in the paper's methodology.
+func MatchedPairSpeedup(baseline, improved []float64) (Interval, error) {
+	if len(baseline) != len(improved) {
+		return Interval{}, fmt.Errorf("stats: matched pairs of different lengths %d vs %d", len(baseline), len(improved))
+	}
+	if len(baseline) == 0 {
+		return Interval{}, fmt.Errorf("stats: no samples")
+	}
+	ratios := make([]float64, 0, len(baseline))
+	for i := range baseline {
+		if baseline[i] <= 0 {
+			return Interval{}, fmt.Errorf("stats: non-positive baseline sample %v at window %d", baseline[i], i)
+		}
+		ratios = append(ratios, improved[i]/baseline[i])
+	}
+	return CI95(ratios), nil
+}
+
+// Percent formats a ratio (e.g. 1.19) as a percent change ("+19.0%").
+func Percent(ratio float64) string {
+	return fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+}

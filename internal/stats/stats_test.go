@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev of singleton != 0")
+	}
+	// Known value: {2,4,4,4,5,5,7,9} has sample stddev ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestCI95KnownCase(t *testing.T) {
+	// n=5, mean 10, sd 1: half-width = 2.776 * 1/sqrt(5) = 1.2415.
+	xs := []float64{9, 9.5, 10, 10.5, 11}
+	iv := CI95(xs)
+	if iv.Mean != 10 || iv.N != 5 {
+		t.Fatalf("interval = %+v", iv)
+	}
+	sd := StdDev(xs)
+	want := 2.776 * sd / math.Sqrt(5)
+	if math.Abs(iv.Half-want) > 1e-9 {
+		t.Errorf("Half = %v, want %v", iv.Half, want)
+	}
+	if iv.Lo() >= iv.Mean || iv.Hi() <= iv.Mean {
+		t.Error("bounds not around mean")
+	}
+}
+
+func TestCI95SmallN(t *testing.T) {
+	iv := CI95([]float64{3})
+	if iv.Half != 0 {
+		t.Error("singleton CI should have zero half-width")
+	}
+}
+
+func TestTCritical95Monotone(t *testing.T) {
+	// Critical values shrink with more degrees of freedom.
+	prev := tCritical95(1)
+	for _, df := range []int{2, 3, 5, 10, 30, 120, 1000} {
+		cur := tCritical95(df)
+		if cur > prev {
+			t.Errorf("t(%d) = %v > previous %v", df, cur, prev)
+		}
+		prev = cur
+	}
+	if got := tCritical95(10000); got != 1.96 {
+		t.Errorf("large-df critical = %v, want 1.96", got)
+	}
+}
+
+func TestMatchedPairSpeedup(t *testing.T) {
+	base := []float64{1, 1, 1, 1}
+	faster := []float64{1.2, 1.19, 1.21, 1.2}
+	iv, err := MatchedPairSpeedup(base, faster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-1.2) > 0.01 {
+		t.Errorf("speedup = %v, want ~1.2", iv.Mean)
+	}
+}
+
+func TestMatchedPairErrors(t *testing.T) {
+	if _, err := MatchedPairSpeedup([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := MatchedPairSpeedup(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := MatchedPairSpeedup([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero baseline accepted")
+	}
+}
+
+// TestMatchedPairCancelsPhases: matched pairs cancel per-window variation
+// that plagues unpaired comparison — the CI over identical-ratio windows is
+// exactly zero-width even when the windows themselves vary wildly.
+func TestMatchedPairCancelsPhases(t *testing.T) {
+	base := []float64{0.5, 2.0, 1.0, 4.0, 0.25}
+	faster := make([]float64, len(base))
+	for i, b := range base {
+		faster[i] = b * 1.1
+	}
+	iv, err := MatchedPairSpeedup(base, faster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Mean-1.1) > 1e-9 || iv.Half > 1e-9 {
+		t.Errorf("interval = %+v, want exactly 1.1 ± 0", iv)
+	}
+}
+
+// TestCI95ContainsMeanQuick: the interval always brackets the sample mean.
+func TestCI95ContainsMeanQuick(t *testing.T) {
+	fn := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1000))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		iv := CI95(xs)
+		m := Mean(xs)
+		return iv.Lo() <= m+1e-9 && iv.Hi() >= m-1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentFormat(t *testing.T) {
+	if got := Percent(1.19); got != "+19.0%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(0.95); got != "-5.0%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	s := Interval{Mean: 1.5, Half: 0.25, N: 7}.String()
+	if !strings.Contains(s, "1.5") || !strings.Contains(s, "n=7") {
+		t.Errorf("String = %q", s)
+	}
+}

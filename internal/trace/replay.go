@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pvsim/internal/memsys"
+)
+
+// Stream is anything that produces an access sequence; Generator and
+// Replayer both implement it, so consumers can run on synthetic or
+// recorded traces interchangeably.
+type Stream interface {
+	Next() Access
+}
+
+// Trace file format (little-endian):
+//
+//	magic   [4]byte "PVA1"
+//	count   uint64
+//	records count x { pc uvarint, addr uvarint, flags byte }
+//
+// PCs and addresses are delta-encoded against the previous record
+// (zig-zag), which compresses the strong spatial locality of the streams
+// to a few bytes per access.
+const traceMagic = "PVA1"
+
+const flagWrite = 1
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Record writes n accesses from s to w.
+func Record(s Stream, n int, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 12)
+	copy(hdr, traceMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(n))
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("trace: record header: %w", err)
+	}
+
+	var buf [binary.MaxVarintLen64]byte
+	var prevPC, prevAddr int64
+	for i := 0; i < n; i++ {
+		a := s.Next()
+		pc, addr := int64(a.PC), int64(a.Addr)
+
+		k := binary.PutUvarint(buf[:], zigzag(pc-prevPC))
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return fmt.Errorf("trace: record access %d: %w", i, err)
+		}
+		k = binary.PutUvarint(buf[:], zigzag(addr-prevAddr))
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return fmt.Errorf("trace: record access %d: %w", i, err)
+		}
+		flags := byte(0)
+		if a.Write {
+			flags |= flagWrite
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return fmt.Errorf("trace: record access %d: %w", i, err)
+		}
+		prevPC, prevAddr = pc, addr
+	}
+	return bw.Flush()
+}
+
+// Replayer re-plays a recorded trace; it implements Stream. When the
+// recording is exhausted it rewinds is not possible (the reader is
+// sequential), so Next panics past the end — callers know the length from
+// Len.
+type Replayer struct {
+	r        *bufio.Reader
+	total    uint64
+	consumed uint64
+	prevPC   int64
+	prevAddr int64
+}
+
+// NewReplayer validates the header and prepares to stream records.
+func NewReplayer(r io.Reader) (*Replayer, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: replay header: %w", err)
+	}
+	if string(hdr[:4]) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:4])
+	}
+	return &Replayer{r: br, total: binary.LittleEndian.Uint64(hdr[4:])}, nil
+}
+
+// Len returns the total number of recorded accesses.
+func (p *Replayer) Len() uint64 { return p.total }
+
+// Remaining returns how many accesses are left.
+func (p *Replayer) Remaining() uint64 { return p.total - p.consumed }
+
+// ReadNext returns the next access, or an error at end of trace.
+func (p *Replayer) ReadNext() (Access, error) {
+	if p.consumed >= p.total {
+		return Access{}, errors.New("trace: replay past end")
+	}
+	dpc, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		return Access{}, fmt.Errorf("trace: replay pc: %w", err)
+	}
+	daddr, err := binary.ReadUvarint(p.r)
+	if err != nil {
+		return Access{}, fmt.Errorf("trace: replay addr: %w", err)
+	}
+	flags, err := p.r.ReadByte()
+	if err != nil {
+		return Access{}, fmt.Errorf("trace: replay flags: %w", err)
+	}
+	p.prevPC += unzigzag(dpc)
+	p.prevAddr += unzigzag(daddr)
+	p.consumed++
+	return Access{
+		PC:    memsys.Addr(p.prevPC),
+		Addr:  memsys.Addr(p.prevAddr),
+		Write: flags&flagWrite != 0,
+	}, nil
+}
+
+// Next implements Stream; it panics at end of trace (replay length is
+// known up front via Len).
+func (p *Replayer) Next() Access {
+	a, err := p.ReadNext()
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Summary aggregates trace statistics for inspection tools.
+type Summary struct {
+	Accesses       uint64
+	Writes         uint64
+	DistinctBlocks int
+	DistinctPCs    int
+	Regions        int // distinct 2KB regions
+}
+
+// Summarize scans a whole replayer.
+func Summarize(p *Replayer) (Summary, error) {
+	blocks := make(map[uint64]struct{})
+	pcs := make(map[uint64]struct{})
+	regions := make(map[uint64]struct{})
+	var s Summary
+	for p.Remaining() > 0 {
+		a, err := p.ReadNext()
+		if err != nil {
+			return s, err
+		}
+		s.Accesses++
+		if a.Write {
+			s.Writes++
+		}
+		blocks[uint64(a.Addr)>>6] = struct{}{}
+		regions[uint64(a.Addr)>>11] = struct{}{}
+		pcs[uint64(a.PC)] = struct{}{}
+	}
+	s.DistinctBlocks = len(blocks)
+	s.DistinctPCs = len(pcs)
+	s.Regions = len(regions)
+	return s, nil
+}

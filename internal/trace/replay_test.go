@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	p := testParams()
+	const n = 20_000
+
+	var buf bytes.Buffer
+	if err := Record(NewGenerator(p, 42, 0), n, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != n {
+		t.Fatalf("Len = %d, want %d", rep.Len(), n)
+	}
+
+	// Replay must match a fresh generator access for access.
+	ref := NewGenerator(p, 42, 0)
+	for i := 0; i < n; i++ {
+		want := ref.Next()
+		got := rep.Next()
+		if got != want {
+			t.Fatalf("access %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if rep.Remaining() != 0 {
+		t.Errorf("Remaining = %d", rep.Remaining())
+	}
+	if _, err := rep.ReadNext(); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	if _, err := NewReplayer(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := append([]byte("XXXX"), make([]byte, 8)...)
+	if _, err := NewReplayer(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReplayTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(NewGenerator(testParams(), 1, 0), 100, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(bytes.NewReader(buf.Bytes()[:buf.Len()-5]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for rep.Remaining() > 0 {
+		if _, lastErr = rep.ReadNext(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Error("truncated payload replayed fully")
+	}
+}
+
+func TestTraceCompression(t *testing.T) {
+	var buf bytes.Buffer
+	const n = 10_000
+	if err := Record(NewGenerator(testParams(), 7, 0), n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Raw encoding would be 17B/access; delta+varint should do much better.
+	perAccess := float64(buf.Len()) / n
+	if perAccess > 14 {
+		t.Errorf("%.1f bytes/access; delta encoding ineffective", perAccess)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	p := testParams()
+	var buf bytes.Buffer
+	const n = 30_000
+	if err := Record(NewGenerator(p, 42, 0), n, &buf); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewReplayer(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Summarize(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Accesses != n {
+		t.Errorf("Accesses = %d", s.Accesses)
+	}
+	if s.Writes == 0 || s.Writes > n/2 {
+		t.Errorf("Writes = %d implausible", s.Writes)
+	}
+	if s.DistinctBlocks == 0 || s.Regions == 0 || s.DistinctPCs == 0 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Regions > s.DistinctBlocks {
+		t.Error("more regions than blocks")
+	}
+}
+
+func TestGeneratorImplementsStream(t *testing.T) {
+	var _ Stream = NewGenerator(testParams(), 1, 0)
+}

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..N-1 with probability proportional to 1/(rank+1)^S.
+// Commercial-workload locality (hot database pages, hot code paths) is
+// conventionally modeled as Zipf-distributed reuse; the exponent controls
+// how concentrated the working set is.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for n items with exponent s (s = 0 degrades
+// to uniform). It panics for n <= 0 or negative s.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: Zipf over %d items", n))
+	}
+	if s < 0 {
+		panic(fmt.Sprintf("trace: negative Zipf exponent %v", s))
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{n: n, cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws a rank using r.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// P returns the probability of rank i (tests use it).
+func (z *Zipf) P(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

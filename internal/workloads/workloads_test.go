@@ -1,0 +1,82 @@
+package workloads
+
+import "testing"
+
+func TestAllWorkloadsValid(t *testing.T) {
+	ws := All()
+	if len(ws) != 8 {
+		t.Fatalf("got %d workloads, want 8 (Table 2)", len(ws))
+	}
+	for _, w := range ws {
+		if err := w.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if w.Description == "" || w.Class == "" {
+			t.Errorf("%s: missing description/class", w.Name)
+		}
+		if w.Params.Name != w.Name {
+			t.Errorf("%s: params named %q", w.Name, w.Params.Name)
+		}
+	}
+}
+
+func TestPaperOrder(t *testing.T) {
+	want := []string{"Apache", "Zeus", "DB2", "Oracle", "Qry1", "Qry2", "Qry16", "Qry17"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("position %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("Oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Class != "OLTP" {
+		t.Errorf("Oracle class = %q", w.Class)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestWorkloadCharacterization(t *testing.T) {
+	oracle, _ := ByName("Oracle")
+	qry1, _ := ByName("Qry1")
+	apache, _ := ByName("Apache")
+
+	// Oracle must have the largest trigger-context working set (it is the
+	// workload whose coverage collapses fastest in Figure 4).
+	for _, w := range All() {
+		if w.Name != "Oracle" && w.Params.NumPCs >= oracle.Params.NumPCs {
+			t.Errorf("%s has %d PCs >= Oracle's %d", w.Name, w.Params.NumPCs, oracle.Params.NumPCs)
+		}
+	}
+	// Qry1 is scan-dominated: fewest contexts, densest patterns.
+	for _, w := range All() {
+		if w.Name != "Qry1" && w.Params.NumPCs <= qry1.Params.NumPCs {
+			t.Errorf("%s has %d PCs <= Qry1's %d", w.Name, w.Params.NumPCs, qry1.Params.NumPCs)
+		}
+		if w.Name != "Qry1" && w.Params.PatternDensity >= qry1.Params.PatternDensity {
+			t.Errorf("%s denser than scan-dominated Qry1", w.Name)
+		}
+	}
+	// Web servers have stable patterns (low noise flip rate).
+	if apache.Params.PatternNoise > 0.1 {
+		t.Error("Apache pattern noise implausibly high")
+	}
+}
+
+func TestWorkloadsShareGeometry(t *testing.T) {
+	for _, w := range All() {
+		if w.Params.BlockBytes != 64 || w.Params.RegionBlocks != 32 {
+			t.Errorf("%s geometry %dx%d, want 64B x 32 blocks", w.Name, w.Params.BlockBytes, w.Params.RegionBlocks)
+		}
+	}
+}
