@@ -79,6 +79,69 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 }
 
+// BenchmarkHeadlineReuse is BenchmarkHeadline on the system-reuse path: the
+// three systems are built once and Reset in place each iteration, so the
+// steady state measures pure simulation with no construction cost. Results
+// are bit-identical to fresh builds (TestSystemResetBitIdentical).
+func BenchmarkHeadlineReuse(b *testing.B) {
+	w, err := workloads.ByName("Apache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default(w)
+	cfg.Warmup, cfg.Measure = 40_000, 40_000
+	ded := cfg
+	ded.Prefetch = sim.SMS1K11
+	pv := cfg
+	pv.Prefetch = sim.PV8
+	bsys, dsys, psys := sim.NewSystem(cfg), sim.NewSystem(ded), sim.NewSystem(pv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			bsys.Reset()
+			dsys.Reset()
+			psys.Reset()
+		}
+		base, dres, pres := bsys.Run(), dsys.Run(), psys.Run()
+		b.ReportMetric(sim.CoverageOf(base, dres).Covered*100, "dedicated-cov-%")
+		b.ReportMetric(sim.CoverageOf(base, pres).Covered*100, "pv8-cov-%")
+	}
+}
+
+// BenchmarkSystemReset measures the in-place reset itself (clearing caches,
+// predictor state and statistics of a warm PV-8 system).
+func BenchmarkSystemReset(b *testing.B) {
+	w, _ := workloads.ByName("Apache")
+	cfg := sim.Default(w)
+	cfg.Prefetch = sim.PV8
+	sys := sim.NewSystem(cfg)
+	for i := 0; i < 10_000; i++ {
+		sys.StepAll()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Reset()
+	}
+}
+
+// BenchmarkRunnerRerun measures a full experiments.Runner re-run of one
+// configuration with KeepSystems: after the first iteration every Run is a
+// Reset of the retained system, not a rebuild.
+func BenchmarkRunnerRerun(b *testing.B) {
+	w, _ := workloads.ByName("Apache")
+	r := experiments.NewRunner(experiments.Options{Scale: benchScale, Seed: 42, KeepSystems: true})
+	for i := 0; i < b.N; i++ {
+		r.Reset()
+		cfg := sim.Default(w)
+		cfg.Warmup, cfg.Measure = 20_000, 20_000
+		cfg.Prefetch = sim.PV8
+		res := r.Run(cfg)
+		if res.L1DReads() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
 // Ablation benches for the design options DESIGN.md calls out.
 
 // BenchmarkAblationPVCacheSize sweeps the PVCache size (§4.3 studied 8 vs

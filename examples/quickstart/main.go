@@ -47,6 +47,8 @@ func (valueCodec) Unpack(src []byte) valueSet {
 	return s
 }
 
+func (c valueCodec) UnpackInto(src []byte, dst *valueSet) { *dst = c.Unpack(src) }
+
 func main() {
 	// A quad-core Table 1 hierarchy; the PVTable reserves 256KB of physical
 	// memory at 0xF0000000 (4096 sets x 64B) — OS-invisible, per §2.1.

@@ -1,0 +1,3 @@
+module pvsim
+
+go 1.24

@@ -58,19 +58,30 @@ func (c SetCodec) Pack(s Set, dst []byte) {
 
 // Unpack implements core.Codec.
 func (c SetCodec) Unpack(src []byte) Set {
-	r := core.NewBitReader(src)
-	s := Set{
-		Tags:    make([]uint32, c.Ways),
-		Targets: make([]uint64, c.Ways),
-		Valid:   make([]bool, c.Ways),
-	}
-	for i := 0; i < c.Ways; i++ {
-		s.Valid[i] = r.Read(1) == 1
-		s.Tags[i] = uint32(r.Read(c.TagBits))
-		s.Targets[i] = r.Read(c.TargetBits)
-	}
-	s.Victim = uint8(r.Read(4))
+	var s Set
+	c.UnpackInto(src, &s)
 	return s
+}
+
+// UnpackInto implements core.Codec, reusing dst's way slices when they are
+// already the right length.
+func (c SetCodec) UnpackInto(src []byte, dst *Set) {
+	if len(dst.Tags) != c.Ways {
+		dst.Tags = make([]uint32, c.Ways)
+	}
+	if len(dst.Targets) != c.Ways {
+		dst.Targets = make([]uint64, c.Ways)
+	}
+	if len(dst.Valid) != c.Ways {
+		dst.Valid = make([]bool, c.Ways)
+	}
+	r := core.NewBitReader(src)
+	for i := 0; i < c.Ways; i++ {
+		dst.Valid[i] = r.Read(1) == 1
+		dst.Tags[i] = uint32(r.Read(c.TagBits))
+		dst.Targets[i] = r.Read(c.TargetBits)
+	}
+	dst.Victim = uint8(r.Read(4))
 }
 
 // Virtualized is the BTB behind a PVProxy: the logical table lives in a

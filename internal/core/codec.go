@@ -21,6 +21,13 @@ type Codec[S any] interface {
 
 	// Unpack deserializes a packed set.
 	Unpack(src []byte) S
+
+	// UnpackInto deserializes a packed set into dst, reusing dst's backing
+	// storage (slices, buffers) when it is already the right shape. It must
+	// leave dst semantically equal to Unpack(src) regardless of dst's prior
+	// contents; the PVProxy uses it to refill PVCache entries without
+	// allocating on the simulation hot path.
+	UnpackInto(src []byte, dst *S)
 }
 
 // BitWriter packs bit fields little-endian-within-bytes into a byte slice;

@@ -177,14 +177,15 @@ func (p *Proxy[S]) Access(now uint64, set int) (s *S, readyAt uint64, hit bool) 
 		p.Stats.FilledByMem++
 	}
 
+	// Refill the victim slot in place: ReadSetInto reuses the decoded set's
+	// backing storage, so steady-state misses allocate nothing.
 	e := &p.entries[victim]
-	*e = pvEntry[S]{
-		set:     set,
-		s:       p.table.ReadSet(set),
-		valid:   true,
-		lastUse: p.tick,
-		readyAt: issueAt + res.Latency,
-	}
+	e.set = set
+	p.table.ReadSetInto(set, &e.s)
+	e.valid = true
+	e.dirty = false
+	e.lastUse = p.tick
+	e.readyAt = issueAt + res.Latency
 	return &e.s, e.readyAt, false
 }
 
@@ -295,6 +296,24 @@ func (p *Proxy[S]) Flush() {
 	for i := range p.entries {
 		p.evict(i)
 	}
+}
+
+// Reset discards all PVCache state and statistics without writebacks,
+// returning the proxy to its post-construction state. Entry payload buffers
+// are kept for reuse; every refill overwrites them completely via
+// ReadSetInto. System reuse (sim.System.Reset) uses this; a live run that
+// must not lose dirty predictor state wants Flush instead.
+func (p *Proxy[S]) Reset() {
+	for i := range p.entries {
+		e := &p.entries[i]
+		e.set = 0
+		e.valid = false
+		e.dirty = false
+		e.lastUse = 0
+		e.readyAt = 0
+	}
+	p.tick = 0
+	p.Stats = ProxyStats{}
 }
 
 // Resident returns the number of valid PVCache entries.

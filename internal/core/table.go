@@ -49,6 +49,9 @@ type Table[S any] struct {
 	// blocks holds the packed bytes per set; nil means never written, which
 	// decodes to an empty set by the Codec zero-is-empty law.
 	blocks [][]byte
+	// zero is a permanently all-zero block that never-written sets decode
+	// from, so reads of empty sets need no scratch allocation.
+	zero []byte
 }
 
 // NewTable builds a backing store; it panics on invalid geometry or a codec
@@ -61,7 +64,12 @@ func NewTable[S any](cfg TableConfig, codec Codec[S]) *Table[S] {
 		panic(fmt.Sprintf("pvtable %s: codec packs %dB, table blocks are %dB",
 			cfg.Name, codec.BlockBytes(), cfg.BlockBytes))
 	}
-	return &Table[S]{cfg: cfg, codec: codec, blocks: make([][]byte, cfg.Sets)}
+	return &Table[S]{
+		cfg:    cfg,
+		codec:  codec,
+		blocks: make([][]byte, cfg.Sets),
+		zero:   make([]byte, cfg.BlockBytes),
+	}
 }
 
 // Config returns the table geometry.
@@ -86,14 +94,41 @@ func (t *Table[S]) ReadSet(set int) S {
 	if b := t.blocks[set]; b != nil {
 		return t.codec.Unpack(b)
 	}
-	return t.codec.Unpack(make([]byte, t.cfg.BlockBytes))
+	return t.codec.Unpack(t.zero)
 }
 
-// WriteSet encodes and stores a set.
+// ReadSetInto decodes the stored bytes for a set into dst, reusing dst's
+// backing storage (the allocation-free variant of ReadSet).
+func (t *Table[S]) ReadSetInto(set int, dst *S) {
+	if b := t.blocks[set]; b != nil {
+		t.codec.UnpackInto(b, dst)
+		return
+	}
+	t.codec.UnpackInto(t.zero, dst)
+}
+
+// WriteSet encodes and stores a set, reusing the set's existing block buffer
+// when one exists (Pack requires a zeroed destination, so it is cleared
+// first).
 func (t *Table[S]) WriteSet(set int, s S) {
-	dst := make([]byte, t.cfg.BlockBytes)
+	dst := t.blocks[set]
+	if dst == nil {
+		dst = make([]byte, t.cfg.BlockBytes)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
 	t.codec.Pack(s, dst)
 	t.blocks[set] = dst
+}
+
+// Reset forgets every set in place, returning the table to its
+// post-construction state without reallocating the set directory.
+func (t *Table[S]) Reset() {
+	for i := range t.blocks {
+		t.blocks[i] = nil
+	}
 }
 
 // RawBytes returns the packed bytes of a set (nil if never written). The

@@ -23,6 +23,7 @@ func (c testCodec) Unpack(src []byte) testSet {
 	r := NewBitReader(src)
 	return testSet{V: r.Read(64)}
 }
+func (c testCodec) UnpackInto(src []byte, dst *testSet) { *dst = c.Unpack(src) }
 
 func newTestTable(sets int) *Table[testSet] {
 	return NewTable[testSet](TableConfig{

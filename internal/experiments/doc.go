@@ -1,0 +1,23 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4). Each experiment builds its simulation runs through a
+// caching, parallel Runner so shared configurations (e.g. the SMS 1K-11a
+// reference that Figures 6–8 all compare against) are simulated once.
+//
+// # Registry
+//
+// Experiments self-register by ID (table1..3, fig4..11, space, ablations,
+// stride); All returns them in paper order and ByID looks one up — this is
+// what cmd/pvsim dispatches on. Each Run(r) returns a report.Doc whose
+// text/markdown/CSV rendering is entirely deterministic for a fixed
+// (Scale, Seed), which EXPERIMENTS.md's regeneration commands and the
+// determinism tests in this package rely on.
+//
+// # Runner
+//
+// Runner.Run keys each sim.Config into a result cache, bounds concurrent
+// simulations with a semaphore, and — with Options.KeepSystems — retains
+// each configuration's built sim.System so a Reset runner re-executes by
+// resetting systems in place instead of rebuilding them. Reset forgets
+// cached results (forcing re-simulation) while keeping retained systems,
+// which makes repeated sweeps over one configuration set rebuild-free.
+package experiments

@@ -300,6 +300,16 @@ func (c *Cache) Invalidate(a Addr) Victim {
 	return Victim{}
 }
 
+// Reset clears every line and all statistics in place, returning the cache
+// to its post-construction state without reallocating the line array.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.tick = 0
+	c.Stats = CacheStats{}
+}
+
 // ResidentBlocks returns the number of valid lines; useful for tests.
 func (c *Cache) ResidentBlocks() int {
 	n := 0

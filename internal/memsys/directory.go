@@ -39,3 +39,6 @@ func (d *directory) others(core int, block Addr) uint32 {
 
 // len returns the number of tracked blocks (for tests).
 func (d *directory) len() int { return len(d.sharers) }
+
+// reset forgets every sharer, keeping the map's capacity for reuse.
+func (d *directory) reset() { clear(d.sharers) }

@@ -240,6 +240,34 @@ func New(cfg Config) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// ResetStats zeroes all statistics in place, reusing the per-core slice so
+// post-warmup resets do not allocate.
+func (h *Hierarchy) ResetStats() {
+	core := h.Stats.Core
+	for i := range core {
+		core[i] = CoreStats{}
+	}
+	h.Stats = Stats{Core: core}
+}
+
+// Reset returns the hierarchy to its post-construction state in place:
+// caches emptied, directory cleared, bank arbitration and the clock rewound,
+// statistics zeroed. Registered hooks are kept.
+func (h *Hierarchy) Reset() {
+	for i := 0; i < h.cfg.Cores; i++ {
+		h.l1i[i].Reset()
+		h.l1d[i].Reset()
+		h.lastIBlock[i] = 0
+	}
+	h.l2.Reset()
+	h.dir.reset()
+	h.now = 0
+	for i := range h.bankFree {
+		h.bankFree[i] = 0
+	}
+	h.ResetStats()
+}
+
 // L1D exposes a core's L1 data cache (tests and the prefetcher use it).
 func (h *Hierarchy) L1D(core int) *Cache { return h.l1d[core] }
 

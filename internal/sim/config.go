@@ -1,6 +1,3 @@
-// Package sim wires cores, caches, SMS engines and PVProxies into the
-// quad-core system of Table 1 and runs functional (miss/traffic counting)
-// or timing (sampled IPC) simulations over the synthetic workloads.
 package sim
 
 import (

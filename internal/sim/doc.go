@@ -1,0 +1,32 @@
+// Package sim wires cores, caches, SMS engines and PVProxies into the
+// quad-core system of Table 1 and runs functional (miss/traffic counting)
+// or timing (sampled IPC) simulations over the synthetic workloads.
+//
+// # Layering
+//
+// A System owns one instance of every layer and is the only place they are
+// wired together:
+//
+//	trace.Generator ──▶ System.Step ──▶ memsys.Hierarchy (L1/L2/memory)
+//	                        │                   ▲
+//	                        ▼                   │ PVRead / PVWriteback
+//	                 sms.Engine / stride.Engine │
+//	                        │ PatternStore      │
+//	                        ▼                   │
+//	                 sms.VirtualizedPHT ──▶ core.Proxy ──▶ core.Table
+//
+// Config selects the predictor organization (PrefetcherConfig: none,
+// infinite, dedicated, virtualized, stride, virtualized stride) and places
+// PVTables in reserved physical ranges via PVStart, which the hierarchy
+// uses to classify PV traffic.
+//
+// # Running
+//
+// Run builds a System and executes warmup, a statistics reset, and the
+// measured phase (windowed when Timing is on); RunSMARTS instead samples
+// detailed windows separated by functional fast-forward gaps (§4.1's
+// SMARTS-style methodology). The per-access path allocates nothing, and a
+// System can be Reset in place and re-Run with bit-identical results —
+// the re-run path benchmarks and sweep drivers use to avoid rebuilding
+// multi-megabyte cache arrays per run.
+package sim

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"pvsim/internal/workloads"
+)
+
+// resetConfigs covers every prefetcher wiring the system supports, plus the
+// knobs (timing, shared table, on-chip-only) that route state differently.
+func resetConfigs(t *testing.T) map[string]Config {
+	t.Helper()
+	w, err := workloads.ByName("Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := func() Config {
+		cfg := Default(w)
+		cfg.Warmup, cfg.Measure = 5_000, 5_000
+		return cfg
+	}
+	cfgs := map[string]Config{}
+
+	base := small()
+	cfgs["baseline"] = base
+
+	ded := small()
+	ded.Prefetch = SMS1K11
+	cfgs["dedicated"] = ded
+
+	inf := small()
+	inf.Prefetch = SMSInfinite
+	cfgs["infinite"] = inf
+
+	pv := small()
+	pv.Prefetch = PV8
+	cfgs["pv8"] = pv
+
+	shared := small()
+	shared.Prefetch = PV8
+	shared.Prefetch.SharedTable = true
+	cfgs["pv8-shared"] = shared
+
+	onchip := small()
+	onchip.Prefetch = PV8
+	onchip.Prefetch.OnChipOnly = true
+	onchip.Hier.L2.SizeBytes = 256 << 10
+	cfgs["pv8-onchip-only"] = onchip
+
+	stridePV := small()
+	stridePV.Prefetch = StridePV8
+	cfgs["stride-pv"] = stridePV
+
+	timing := small()
+	timing.Prefetch = PV8
+	timing.Timing = true
+	timing.Windows = 5
+	cfgs["pv8-timing"] = timing
+
+	return cfgs
+}
+
+// TestSystemResetBitIdentical is the aliasing guard for the buffer-reuse
+// refactor: a Reset system must reproduce a fresh system's Result exactly,
+// for every prefetcher kind, and earlier Results must not be clobbered by
+// later runs on the same system.
+func TestSystemResetBitIdentical(t *testing.T) {
+	for name, cfg := range resetConfigs(t) {
+		t.Run(name, func(t *testing.T) {
+			fresh := Run(cfg)
+
+			sys := NewSystem(cfg)
+			first := sys.Run()
+			if !reflect.DeepEqual(fresh, first) {
+				t.Fatalf("fresh-system results diverge:\n%+v\nvs\n%+v", fresh, first)
+			}
+
+			sys.Reset()
+			second := sys.Run()
+			if !reflect.DeepEqual(first, second) {
+				t.Fatalf("reset-system result diverges from first run:\n%+v\nvs\n%+v", first, second)
+			}
+			// first must still equal fresh: the second run reused the
+			// system's buffers and must not have written through them into
+			// the earlier Result.
+			if !reflect.DeepEqual(fresh, first) {
+				t.Fatalf("second run mutated the first Result (aliasing): %+v", first)
+			}
+		})
+	}
+}
+
+// TestSystemResetEngineInvariants runs, resets and re-runs a PV system and
+// checks the SMS engines' internal index consistency afterwards.
+func TestSystemResetEngineInvariants(t *testing.T) {
+	w, err := workloads.ByName("DB2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default(w)
+	cfg.Warmup, cfg.Measure = 3_000, 3_000
+	cfg.Prefetch = PV8
+	sys := NewSystem(cfg)
+	sys.Run()
+	sys.Reset()
+	sys.Run()
+	for c := 0; c < sys.Hier.Config().Cores; c++ {
+		if err := sys.Engine(c).CheckInvariants(); err != nil {
+			t.Fatalf("core %d after reset+rerun: %v", c, err)
+		}
+		if err := sys.VPHT(c).Proxy().CheckInvariants(); err != nil {
+			t.Fatalf("core %d proxy after reset+rerun: %v", c, err)
+		}
+	}
+}

@@ -97,17 +97,20 @@ func (r *Result) ProxyTotals() pvcore.ProxyStats {
 
 // Run executes one configuration: warmup, stats reset, measured phase.
 func Run(cfg Config) Result {
-	sys := NewSystem(cfg)
+	return NewSystem(cfg).Run()
+}
 
+// Run executes the system's configured phases — warmup, stats reset,
+// measured windows — and collects a Result. It must start from pristine
+// microarchitectural state: call it once on a freshly built system, or
+// again after Reset. The per-window snapshot buffers live on the System, so
+// the measurement loop itself allocates nothing.
+func (sys *System) Run() Result {
+	cfg := sys.cfg
 	for i := 0; i < cfg.Warmup; i++ {
 		sys.StepAll()
 	}
 	sys.ResetStats()
-	for c := range sys.prefetchers {
-		if d, ok := phtOf(sys, c).(*sms.DedicatedPHT); ok {
-			d.Stats = sms.PHTStats{}
-		}
-	}
 
 	n := sys.Hier.Config().Cores
 	windows := cfg.Windows
@@ -119,19 +122,19 @@ func Run(cfg Config) Result {
 		perWindow = 1
 	}
 
-	startSnaps := snapshots(sys)
+	snapshotsInto(sys, sys.snapStart)
+	copy(sys.snapPrev, sys.snapStart)
 	windowIPC := make([]float64, 0, windows)
-	prev := startSnaps
 	for w := 0; w < windows; w++ {
 		for i := 0; i < perWindow; i++ {
 			sys.StepAll()
 		}
 		if cfg.Timing {
-			cur := snapshots(sys)
+			snapshotsInto(sys, sys.snapCur)
 			var instr, cyc float64
 			for c := 0; c < n; c++ {
-				instr += cur[c].Instrs - prev[c].Instrs
-				w := cur[c].Cycles - prev[c].Cycles
+				instr += sys.snapCur[c].Instrs - sys.snapPrev[c].Instrs
+				w := sys.snapCur[c].Cycles - sys.snapPrev[c].Cycles
 				if w > cyc {
 					cyc = w
 				}
@@ -139,17 +142,17 @@ func Run(cfg Config) Result {
 			if cyc > 0 {
 				windowIPC = append(windowIPC, instr/cyc)
 			}
-			prev = cur
+			copy(sys.snapPrev, sys.snapCur)
 		}
 	}
 
 	res := Result{Config: cfg, Mem: sys.Hier.Stats, WindowIPC: windowIPC}
 	collectStats(sys, &res)
 	if cfg.Timing {
-		end := snapshots(sys)
+		snapshotsInto(sys, sys.snapCur)
 		for c := 0; c < n; c++ {
-			res.Instrs += end[c].Instrs - startSnaps[c].Instrs
-			cyc := end[c].Cycles - startSnaps[c].Cycles
+			res.Instrs += sys.snapCur[c].Instrs - sys.snapStart[c].Instrs
+			cyc := sys.snapCur[c].Cycles - sys.snapStart[c].Cycles
 			if cyc > res.Cycles {
 				res.Cycles = cyc
 			}
@@ -162,10 +165,13 @@ func Run(cfg Config) Result {
 }
 
 // collectStats copies engine/PHT/proxy statistics from a finished system
-// into res.
+// into res. Per-core slices are deep-copied: the system may be Reset and
+// reused after the Result escapes, so the Result must not alias live
+// simulator state.
 func collectStats(sys *System, res *Result) {
 	n := sys.Hier.Config().Cores
 	res.Mem = sys.Hier.Stats
+	res.Mem.Core = append([]memsys.CoreStats(nil), sys.Hier.Stats.Core...)
 	switch sys.cfg.Prefetch.Kind {
 	case None:
 	case Stride, StrideVirtualized:
@@ -207,13 +213,12 @@ func phtOf(sys *System, c int) sms.PatternStore {
 	return sys.engines[c].PHT()
 }
 
-func snapshots(sys *System) []cpu.Snapshot {
-	n := sys.Hier.Config().Cores
-	out := make([]cpu.Snapshot, n)
-	for c := 0; c < n; c++ {
+// snapshotsInto fills out with every core's (instrs, cycles) accumulators;
+// out must have one slot per core.
+func snapshotsInto(sys *System, out []cpu.Snapshot) {
+	for c := range out {
 		out[c] = sys.cores[c].Snapshot()
 	}
-	return out
 }
 
 // Coverage is the Figure 4 metric set for one (workload, prefetcher) pair,

@@ -66,16 +66,16 @@ func RunSMARTS(cfg Config, plan SMARTSConfig) Result {
 		for i := 0; i < plan.DetailWarm; i++ {
 			sys.StepAll()
 		}
-		start := snapshots(sys)
+		snapshotsInto(sys, sys.snapPrev)
 		for i := 0; i < plan.Measure; i++ {
 			sys.StepAll()
 		}
-		end := snapshots(sys)
+		snapshotsInto(sys, sys.snapCur)
 
 		var instr, cyc float64
 		for c := 0; c < n; c++ {
-			instr += end[c].Instrs - start[c].Instrs
-			w := end[c].Cycles - start[c].Cycles
+			instr += sys.snapCur[c].Instrs - sys.snapPrev[c].Instrs
+			w := sys.snapCur[c].Cycles - sys.snapPrev[c].Cycles
 			if w > cyc {
 				cyc = w
 			}

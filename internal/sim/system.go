@@ -33,6 +33,11 @@ type System struct {
 	// timeliness modeling (timing runs only).
 	inflight []map[memsys.Addr]uint64
 
+	// snapStart/snapPrev/snapCur are the per-core snapshot buffers Run
+	// reuses across measurement windows (and across runs on a reused
+	// system), so windowed timing collection allocates nothing.
+	snapStart, snapPrev, snapCur []cpu.Snapshot
+
 	// detail gates timing accounting; RunSMARTS turns it off during
 	// functional fast-forward gaps. Plain Run leaves it on throughout.
 	detail bool
@@ -86,6 +91,9 @@ func NewSystem(cfg Config) *System {
 		cores:       make([]*cpu.Core, n),
 		clock:       make([]uint64, n),
 		inflight:    make([]map[memsys.Addr]uint64, n),
+		snapStart:   make([]cpu.Snapshot, n),
+		snapPrev:    make([]cpu.Snapshot, n),
+		snapCur:     make([]cpu.Snapshot, n),
 	}
 
 	geom := sms.DefaultGeometry()
@@ -261,13 +269,17 @@ func (s *System) StepAll() {
 	}
 }
 
-// ResetStats zeroes every statistic (hierarchy, engines, proxies) while
-// leaving microarchitectural state warm; Run calls it after warmup.
+// ResetStats zeroes every statistic (hierarchy, engines, PHTs, proxies)
+// in place while leaving microarchitectural state warm; Run calls it after
+// warmup, and it allocates nothing.
 func (s *System) ResetStats() {
-	s.Hier.Stats = memsys.Stats{Core: make([]memsys.CoreStats, s.Hier.Config().Cores)}
+	s.Hier.ResetStats()
 	for c := range s.prefetchers {
 		if s.engines[c] != nil {
 			s.engines[c].Stats = sms.EngineStats{}
+			if d, ok := s.engines[c].PHT().(*sms.DedicatedPHT); ok {
+				d.Stats = sms.PHTStats{}
+			}
 		}
 		if s.strides[c] != nil {
 			s.strides[c].Stats = stride.Stats{}
@@ -280,4 +292,43 @@ func (s *System) ResetStats() {
 			s.vphts[c].Proxy().Stats = pvcore.ProxyStats{}
 		}
 	}
+}
+
+// Reset returns the whole system to its post-construction state in place —
+// generators rewound, caches and predictor state emptied, clocks and
+// statistics zeroed — so the same System can run its configuration again
+// (or the same configuration can be re-run for benchmarking) without
+// rebuilding anything. A Reset system produces bit-identical results to a
+// freshly built one.
+func (s *System) Reset() {
+	s.Hier.Reset()
+	var lastTable *pvcore.Table[sms.PHTSet]
+	for c := 0; c < s.Hier.Config().Cores; c++ {
+		s.gens[c].Reset()
+		s.cores[c].Reset()
+		s.clock[c] = 0
+		clear(s.inflight[c])
+		if s.engines[c] != nil {
+			s.engines[c].Reset()
+			switch pht := s.engines[c].PHT().(type) {
+			case *sms.DedicatedPHT:
+				pht.Reset()
+			case *sms.InfinitePHT:
+				pht.Reset()
+			}
+		}
+		if s.strides[c] != nil {
+			s.strides[c].Reset()
+		}
+		if s.vphts[c] != nil {
+			s.vphts[c].Reset()
+			// Backing tables are reset once each; under §2.1 sharing every
+			// core points at the same table.
+			if t := s.vphts[c].Table(); t != lastTable {
+				t.Reset()
+				lastTable = t
+			}
+		}
+	}
+	s.detail = true
 }

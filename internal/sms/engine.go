@@ -2,6 +2,7 @@ package sms
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pvsim/internal/memsys"
 )
@@ -93,8 +94,8 @@ type Engine struct {
 
 	filter    []filterEntry
 	accum     []accumEntry
-	filterIdx map[uint64]int // region tag -> filter slot
-	accumIdx  map[uint64]int // region tag -> accumulation slot
+	filterIdx tagIndex // region tag -> filter slot
+	accumIdx  tagIndex // region tag -> accumulation slot
 	tick      uint64
 
 	// patternBuf holds completion times of in-flight delayed predictions;
@@ -129,8 +130,8 @@ func NewEngineConfig(cfg Config, pht PatternStore, sink PrefetchSink) *Engine {
 		sink:          sink,
 		filter:        make([]filterEntry, cfg.AGT.FilterEntries),
 		accum:         make([]accumEntry, cfg.AGT.AccumEntries),
-		filterIdx:     make(map[uint64]int, cfg.AGT.FilterEntries),
-		accumIdx:      make(map[uint64]int, cfg.AGT.AccumEntries),
+		filterIdx:     newTagIndex(cfg.AGT.FilterEntries),
+		accumIdx:      newTagIndex(cfg.AGT.AccumEntries),
 		patternBufCap: cfg.PatternBufEntries,
 	}
 	if e.patternBufCap > 0 {
@@ -173,14 +174,14 @@ func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
 	tag := e.geom.RegionTag(addr)
 	off := e.geom.Offset(addr)
 
-	if i, ok := e.accumIdx[tag]; ok {
+	if i, ok := e.accumIdx.get(tag); ok {
 		a := &e.accum[i]
 		a.pat = a.pat.Set(off)
 		a.lastUse = e.tick
 		return
 	}
 
-	if i, ok := e.filterIdx[tag]; ok {
+	if i, ok := e.filterIdx.get(tag); ok {
 		f := &e.filter[i]
 		if f.offset == off {
 			f.lastUse = e.tick
@@ -191,7 +192,7 @@ func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
 		key := e.geom.Key(f.pc, f.offset)
 		pat := Pattern(0).Set(f.offset).Set(off)
 		f.valid = false
-		delete(e.filterIdx, tag)
+		e.filterIdx.del(tag)
 		e.insertAccum(now, tag, key, pat)
 		return
 	}
@@ -206,7 +207,10 @@ func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
 			// the prediction is lost (advisory, so merely less coverage).
 			e.Stats.PatternBufDrops++
 		} else {
-			for _, b := range pat.Blocks() {
+			// Iterate set bits directly — Pattern.Blocks would allocate a
+			// slice per prediction on the hot path.
+			for v := uint64(pat); v != 0; v &= v - 1 {
+				b := bits.TrailingZeros64(v)
 				if b == off {
 					continue // the trigger block is being demand-fetched already
 				}
@@ -226,7 +230,7 @@ func (e *Engine) OnEvict(now uint64, blockAddr memsys.Addr) {
 	tag := e.geom.RegionTag(blockAddr)
 	off := e.geom.Offset(blockAddr)
 
-	if i, ok := e.accumIdx[tag]; ok {
+	if i, ok := e.accumIdx.get(tag); ok {
 		a := &e.accum[i]
 		if a.pat.Has(off) {
 			e.Stats.EvictionsEndingGen++
@@ -234,13 +238,13 @@ func (e *Engine) OnEvict(now uint64, blockAddr memsys.Addr) {
 		}
 		return
 	}
-	if i, ok := e.filterIdx[tag]; ok {
+	if i, ok := e.filterIdx.get(tag); ok {
 		f := &e.filter[i]
 		if f.offset == off {
 			e.Stats.EvictionsEndingGen++
 			e.Stats.FilterGenerations++
 			f.valid = false
-			delete(e.filterIdx, tag)
+			e.filterIdx.del(tag)
 		}
 	}
 }
@@ -251,7 +255,7 @@ func (e *Engine) closeAccum(now uint64, i int) {
 	a := &e.accum[i]
 	e.pht.Store(now, a.key, a.pat)
 	e.Stats.GenerationsStored++
-	delete(e.accumIdx, a.tag)
+	e.accumIdx.del(a.tag)
 	a.valid = false
 }
 
@@ -271,12 +275,12 @@ func (e *Engine) insertFilter(tag uint64, pc memsys.Addr, off int) {
 			}
 		}
 		// Capacity eviction of a single-access region: nothing is learned.
-		delete(e.filterIdx, e.filter[victim].tag)
+		e.filterIdx.del(e.filter[victim].tag)
 		e.Stats.FilterCapacityEvicts++
 	}
 	e.tick++
 	e.filter[victim] = filterEntry{tag: tag, pc: pc, offset: off, lastUse: e.tick, valid: true}
-	e.filterIdx[tag] = victim
+	e.filterIdx.put(tag, victim)
 }
 
 func (e *Engine) insertAccum(now uint64, tag uint64, key uint32, pat Pattern) {
@@ -301,25 +305,80 @@ func (e *Engine) insertAccum(now uint64, tag uint64, key uint32, pat Pattern) {
 	}
 	e.tick++
 	e.accum[victim] = accumEntry{tag: tag, key: key, pat: pat, lastUse: e.tick, valid: true}
-	e.accumIdx[tag] = victim
+	e.accumIdx.put(tag, victim)
 }
 
 // ActiveGenerations reports (filter, accumulation) occupancy; tests use it.
 func (e *Engine) ActiveGenerations() (filter, accum int) {
-	return len(e.filterIdx), len(e.accumIdx)
+	return e.filterIdx.len(), e.accumIdx.len()
 }
 
-// CheckInvariants validates index-map/array consistency.
+// Reset returns the engine to its post-construction state in place, so a
+// reused sim.System behaves bit-identically to a freshly built one.
+func (e *Engine) Reset() {
+	for i := range e.filter {
+		e.filter[i] = filterEntry{}
+	}
+	for i := range e.accum {
+		e.accum[i] = accumEntry{}
+	}
+	e.filterIdx.reset()
+	e.accumIdx.reset()
+	e.tick = 0
+	if e.patternBuf != nil {
+		e.patternBuf = e.patternBuf[:0]
+	}
+	e.Stats = EngineStats{}
+}
+
+// CheckInvariants validates index/array consistency both ways: every index
+// binding points at a valid entry with the same tag, and every valid entry
+// is findable through its index.
 func (e *Engine) CheckInvariants() error {
-	for tag, i := range e.filterIdx {
-		if !e.filter[i].valid || e.filter[i].tag != tag {
-			return fmt.Errorf("sms: filter index desync at tag %#x", tag)
+	if err := checkIndex(&e.filterIdx, len(e.filter), func(i int) (uint64, bool) {
+		return e.filter[i].tag, e.filter[i].valid
+	}); err != nil {
+		return fmt.Errorf("sms: filter %w", err)
+	}
+	if err := checkIndex(&e.accumIdx, len(e.accum), func(i int) (uint64, bool) {
+		return e.accum[i].tag, e.accum[i].valid
+	}); err != nil {
+		return fmt.Errorf("sms: accum %w", err)
+	}
+	return nil
+}
+
+// checkIndex verifies a tagIndex against its backing entry array.
+func checkIndex(ix *tagIndex, entries int, entry func(int) (tag uint64, valid bool)) error {
+	seen := 0
+	for c := range ix.slots {
+		if ix.slots[c] < 0 {
+			continue
+		}
+		seen++
+		i := int(ix.slots[c])
+		if i < 0 || i >= entries {
+			return fmt.Errorf("index slot %d out of range", i)
+		}
+		tag, valid := entry(i)
+		if !valid || tag != ix.tags[c] {
+			return fmt.Errorf("index desync at tag %#x", ix.tags[c])
+		}
+		if got, ok := ix.get(tag); !ok || got != i {
+			return fmt.Errorf("probe chain broken for tag %#x", tag)
 		}
 	}
-	for tag, i := range e.accumIdx {
-		if !e.accum[i].valid || e.accum[i].tag != tag {
-			return fmt.Errorf("sms: accum index desync at tag %#x", tag)
+	for i := 0; i < entries; i++ {
+		tag, valid := entry(i)
+		if !valid {
+			continue
 		}
+		if got, ok := ix.get(tag); !ok || got != i {
+			return fmt.Errorf("valid entry %d (tag %#x) unreachable via index", i, tag)
+		}
+	}
+	if seen != ix.live {
+		return fmt.Errorf("live count %d != occupied cells %d", ix.live, seen)
 	}
 	return nil
 }

@@ -1,14 +1,3 @@
-// Package sms implements the Spatial Memory Streaming data prefetcher
-// (Somogyi et al., ISCA 2006 — reference [27] of the paper) exactly as
-// §3.1 describes it, plus the virtualized variant of §3.2 built on the
-// Predictor Virtualization framework in internal/core.
-//
-// SMS splits memory into fixed-size spatial regions, records which blocks
-// inside a region are touched between a triggering access and the first
-// eviction/invalidation of any touched block (a "generation"), and stores
-// the resulting bit-vector pattern in a pattern history table (PHT) indexed
-// by (PC, trigger block offset). At the next trigger with the same index it
-// streams the predicted blocks into the L1.
 package sms
 
 import (

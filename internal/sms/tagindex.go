@@ -1,0 +1,115 @@
+package sms
+
+// tagIndex maps region tags to AGT slots without heap traffic: a fixed-size
+// open-addressed hash table with linear probing and backward-shift deletion.
+// It replaces the map[uint64]int indices the engine used to carry, whose
+// inserts allocated on the simulation hot path. Capacity is fixed at
+// construction (4x the entry count, so load factor stays below 25% and
+// probe chains stay short); the AGT can never hold more live tags than
+// entries, so the table cannot fill.
+type tagIndex struct {
+	mask  uint32
+	shift uint
+	tags  []uint64
+	slots []int32 // AGT slot per occupied cell; -1 marks an empty cell
+	live  int
+}
+
+// newTagIndex sizes the index for an AGT with the given entry count.
+func newTagIndex(entries int) tagIndex {
+	size := 4
+	for size < 4*entries {
+		size <<= 1
+	}
+	ix := tagIndex{mask: uint32(size - 1), tags: make([]uint64, size), slots: make([]int32, size)}
+	ix.shift = 64
+	for s := size; s > 1; s >>= 1 {
+		ix.shift--
+	}
+	ix.reset()
+	return ix
+}
+
+// home is the preferred cell for a tag (Fibonacci hashing).
+func (ix *tagIndex) home(tag uint64) uint32 {
+	return uint32((tag * 0x9E3779B97F4A7C15) >> ix.shift)
+}
+
+// get returns the AGT slot recorded for tag.
+func (ix *tagIndex) get(tag uint64) (int, bool) {
+	for i := ix.home(tag); ; i = (i + 1) & ix.mask {
+		if ix.slots[i] < 0 {
+			return 0, false
+		}
+		if ix.tags[i] == tag {
+			return int(ix.slots[i]), true
+		}
+	}
+}
+
+// put records tag -> slot, overwriting any previous binding.
+func (ix *tagIndex) put(tag uint64, slot int) {
+	for i := ix.home(tag); ; i = (i + 1) & ix.mask {
+		if ix.slots[i] < 0 {
+			ix.tags[i] = tag
+			ix.slots[i] = int32(slot)
+			ix.live++
+			return
+		}
+		if ix.tags[i] == tag {
+			ix.slots[i] = int32(slot)
+			return
+		}
+	}
+}
+
+// del removes tag, compacting the probe chain so lookups never need
+// tombstones (the standard linear-probing backward-shift).
+func (ix *tagIndex) del(tag uint64) {
+	i := ix.home(tag)
+	for {
+		if ix.slots[i] < 0 {
+			return
+		}
+		if ix.tags[i] == tag {
+			break
+		}
+		i = (i + 1) & ix.mask
+	}
+	ix.live--
+	j := i
+	for {
+		ix.slots[i] = -1
+		for {
+			j = (j + 1) & ix.mask
+			if ix.slots[j] < 0 {
+				return
+			}
+			k := ix.home(ix.tags[j])
+			// Move entry j back to the hole at i unless its home lies in
+			// the (i, j] arc, in which case the chain is still intact.
+			if i <= j {
+				if i < k && k <= j {
+					continue
+				}
+			} else if i < k || k <= j {
+				continue
+			}
+			break
+		}
+		ix.tags[i] = ix.tags[j]
+		ix.slots[i] = ix.slots[j]
+		i = j
+	}
+}
+
+// len returns the number of live bindings.
+func (ix *tagIndex) len() int { return ix.live }
+
+// reset empties the index in place.
+func (ix *tagIndex) reset() {
+	for i := range ix.slots {
+		ix.slots[i] = -1
+	}
+	ix.live = 0
+}

@@ -66,14 +66,26 @@ func (c SetCodec) Pack(s PHTSet, dst []byte) {
 
 // Unpack implements core.Codec.
 func (c SetCodec) Unpack(src []byte) PHTSet {
-	r := core.NewBitReader(src)
-	s := PHTSet{Tags: make([]uint32, c.Ways), Pats: make([]Pattern, c.Ways)}
-	for i := 0; i < c.Ways; i++ {
-		s.Tags[i] = uint32(r.Read(c.TagBits))
-		s.Pats[i] = Pattern(r.Read(c.PatternBits))
-	}
-	s.Victim = uint8(r.Read(4))
+	var s PHTSet
+	c.UnpackInto(src, &s)
 	return s
+}
+
+// UnpackInto implements core.Codec, reusing dst's way slices when they are
+// already the right length.
+func (c SetCodec) UnpackInto(src []byte, dst *PHTSet) {
+	if len(dst.Tags) != c.Ways {
+		dst.Tags = make([]uint32, c.Ways)
+	}
+	if len(dst.Pats) != c.Ways {
+		dst.Pats = make([]Pattern, c.Ways)
+	}
+	r := core.NewBitReader(src)
+	for i := 0; i < c.Ways; i++ {
+		dst.Tags[i] = uint32(r.Read(c.TagBits))
+		dst.Pats[i] = Pattern(r.Read(c.PatternBits))
+	}
+	dst.Victim = uint8(r.Read(4))
 }
 
 // VPHTConfig describes a virtualized PHT.
@@ -224,6 +236,15 @@ func (t *VirtualizedPHT) Store(now uint64, key uint32, pat Pattern) {
 	s.Tags[way] = tag
 	s.Pats[way] = pat
 	t.proxy.MarkDirty(set)
+}
+
+// Reset returns the virtualized PHT to its post-construction state: PVCache
+// dropped (no writebacks), statistics zeroed. The backing PVTable is shared
+// state and is reset separately by the system owner (it may serve several
+// proxies under §2.1 sharing).
+func (t *VirtualizedPHT) Reset() {
+	t.proxy.Reset()
+	t.Stats = PHTStats{}
 }
 
 // SwitchTable retargets the proxy at a different backing table — the §2.1

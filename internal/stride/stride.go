@@ -100,12 +100,19 @@ type Sink interface {
 }
 
 // table abstracts entry storage so dedicated and virtualized variants
-// share the training logic in Engine.
+// share the training logic in Engine. The access/update pair is stateful
+// rather than closure-based — update stores into the slot the immediately
+// preceding access located — so the per-access path allocates nothing.
 type table interface {
-	// access returns the entry for pc (zero Entry if absent), a writer to
-	// store the updated entry, and the cycle the entry is usable.
-	access(now uint64, pc memsys.Addr) (Entry, func(Entry), uint64)
+	// access returns the entry for pc (zero Entry if absent) and the cycle
+	// the entry is usable, remembering the slot for the next update call.
+	access(now uint64, pc memsys.Addr) (Entry, uint64)
+	// update stores e into the slot access found (the victim slot when
+	// access missed).
+	update(e Entry)
 	name() string
+	// reset returns the table to its post-construction state in place.
+	reset()
 }
 
 // Engine trains on the L1D access stream and issues stride prefetches.
@@ -150,11 +157,11 @@ func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
 	e.Stats.Accesses++
 	block := uint32(uint64(addr) >> e.cfg.blockBits())
 
-	ent, store, ready := e.tbl.access(now, pc)
+	ent, ready := e.tbl.access(now, pc)
 	if !ent.Valid {
 		e.Stats.Allocs++
 		_, tag := e.cfg.index(pc)
-		store(Entry{Tag: tag, LastBlock: block, Valid: true})
+		e.tbl.update(Entry{Tag: tag, LastBlock: block, Valid: true})
 		return
 	}
 	e.Stats.Hits++
@@ -175,7 +182,7 @@ func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
 		}
 	}
 	ent.LastBlock = block
-	store(ent)
+	e.tbl.update(ent)
 
 	if ent.Conf >= 2 && ent.Stride != 0 {
 		for d := 1; d <= e.cfg.Degree; d++ {
@@ -189,3 +196,10 @@ func (e *Engine) OnAccess(now uint64, pc, addr memsys.Addr) {
 // OnEvict is a no-op: stride predictors have no generation concept. It
 // exists to satisfy the sim.DataPrefetcher contract.
 func (e *Engine) OnEvict(uint64, memsys.Addr) {}
+
+// Reset returns the engine and its table to their post-construction state
+// in place (system reuse).
+func (e *Engine) Reset() {
+	e.tbl.reset()
+	e.Stats = Stats{}
+}

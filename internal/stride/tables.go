@@ -13,6 +13,9 @@ type dedicatedTable struct {
 	entries []Entry
 	lastUse []uint64
 	tick    uint64
+	// lastSlot is where the next update stores: the hit slot or the chosen
+	// victim of the most recent access.
+	lastSlot int
 }
 
 func newDedicatedTable(cfg Config) *dedicatedTable {
@@ -24,7 +27,7 @@ func (t *dedicatedTable) name() string {
 	return fmt.Sprintf("stride-%dx%d", t.cfg.Sets, t.cfg.Ways)
 }
 
-func (t *dedicatedTable) access(now uint64, pc memsys.Addr) (Entry, func(Entry), uint64) {
+func (t *dedicatedTable) access(now uint64, pc memsys.Addr) (Entry, uint64) {
 	t.tick++
 	set, tag := t.cfg.index(pc)
 	base := set * t.cfg.Ways
@@ -32,8 +35,8 @@ func (t *dedicatedTable) access(now uint64, pc memsys.Addr) (Entry, func(Entry),
 	for i := base; i < base+t.cfg.Ways; i++ {
 		if t.entries[i].Valid && t.entries[i].Tag == tag {
 			t.lastUse[i] = t.tick
-			i := i
-			return t.entries[i], func(e Entry) { t.entries[i] = e }, now
+			t.lastSlot = i
+			return t.entries[i], now
 		}
 		if !t.entries[i].Valid {
 			victim = i
@@ -41,9 +44,20 @@ func (t *dedicatedTable) access(now uint64, pc memsys.Addr) (Entry, func(Entry),
 			victim = i
 		}
 	}
-	v := victim
-	t.lastUse[v] = t.tick
-	return Entry{}, func(e Entry) { t.entries[v] = e }, now
+	t.lastUse[victim] = t.tick
+	t.lastSlot = victim
+	return Entry{}, now
+}
+
+func (t *dedicatedTable) update(e Entry) { t.entries[t.lastSlot] = e }
+
+func (t *dedicatedTable) reset() {
+	for i := range t.entries {
+		t.entries[i] = Entry{}
+		t.lastUse[i] = 0
+	}
+	t.tick = 0
+	t.lastSlot = 0
 }
 
 // Set is the decoded PVTable form of one virtualized stride set.
@@ -94,18 +108,27 @@ func (c SetCodec) Pack(s Set, dst []byte) {
 
 // Unpack implements core.Codec.
 func (c SetCodec) Unpack(src []byte) Set {
+	var s Set
+	c.UnpackInto(src, &s)
+	return s
+}
+
+// UnpackInto implements core.Codec, reusing dst's entry slice when it is
+// already the right length.
+func (c SetCodec) UnpackInto(src []byte, dst *Set) {
+	if len(dst.Entries) != c.Ways {
+		dst.Entries = make([]Entry, c.Ways)
+	}
 	r := core.NewBitReader(src)
-	s := Set{Entries: make([]Entry, c.Ways)}
 	for i := 0; i < c.Ways; i++ {
-		e := &s.Entries[i]
+		e := &dst.Entries[i]
 		e.Valid = r.Read(1) == 1
 		e.Tag = uint32(r.Read(c.TagBits))
 		e.LastBlock = uint32(r.Read(32))
 		e.Stride = int8(uint8(r.Read(8)))
 		e.Conf = uint8(r.Read(2))
 	}
-	s.Victim = uint8(r.Read(4))
-	return s
+	dst.Victim = uint8(r.Read(4))
 }
 
 // VirtualTable keeps the reference prediction table behind a PVProxy.
@@ -113,6 +136,13 @@ type VirtualTable struct {
 	cfg   Config
 	proxy *core.Proxy[Set]
 	table *core.Table[Set]
+
+	// Store-back state for the access/update pair: the decoded set the last
+	// access touched, its index, and the way that hit (-1 for a miss, where
+	// update picks an empty way or the round-robin victim).
+	lastSet    *Set
+	lastSetIdx int
+	lastWay    int
 }
 
 func newVirtualTable(cfg Config, proxy core.ProxyConfig, start memsys.Addr, blockBytes int, be core.Backend) *VirtualTable {
@@ -136,21 +166,25 @@ func (t *VirtualTable) Proxy() *core.Proxy[Set] { return t.proxy }
 // TableRange is the reserved physical range.
 func (t *VirtualTable) TableRange() memsys.AddrRange { return t.table.Config().Range() }
 
-func (t *VirtualTable) access(now uint64, pc memsys.Addr) (Entry, func(Entry), uint64) {
+func (t *VirtualTable) access(now uint64, pc memsys.Addr) (Entry, uint64) {
 	set, tag := t.cfg.index(pc)
 	s, ready, _ := t.proxy.Access(now, set)
+	t.lastSet, t.lastSetIdx = s, set
 	for i := 0; i < t.cfg.Ways; i++ {
 		if s.Entries[i].Valid && s.Entries[i].Tag == tag {
-			i := i
-			return s.Entries[i], func(e Entry) {
-				s.Entries[i] = e
-				t.proxy.MarkDirty(set)
-			}, ready
+			t.lastWay = i
+			return s.Entries[i], ready
 		}
 	}
-	// Miss: writer allocates into an empty way, else round-robin victim.
-	return Entry{}, func(e Entry) {
-		way := -1
+	t.lastWay = -1
+	return Entry{}, ready
+}
+
+func (t *VirtualTable) update(e Entry) {
+	s := t.lastSet
+	way := t.lastWay
+	if way < 0 {
+		// Miss: allocate into an empty way, else the round-robin victim.
 		for i := 0; i < t.cfg.Ways; i++ {
 			if !s.Entries[i].Valid {
 				way = i
@@ -161,7 +195,13 @@ func (t *VirtualTable) access(now uint64, pc memsys.Addr) (Entry, func(Entry), u
 			way = int(s.Victim) % t.cfg.Ways
 			s.Victim = uint8((way + 1) % t.cfg.Ways)
 		}
-		s.Entries[way] = e
-		t.proxy.MarkDirty(set)
-	}, ready
+	}
+	s.Entries[way] = e
+	t.proxy.MarkDirty(t.lastSetIdx)
+}
+
+func (t *VirtualTable) reset() {
+	t.proxy.Reset()
+	t.table.Reset()
+	t.lastSet, t.lastSetIdx, t.lastWay = nil, 0, 0
 }

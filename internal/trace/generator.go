@@ -180,9 +180,22 @@ func NewGenerator(p Params, seed uint64, c int) *Generator {
 	}
 	g.episodes = make([]episode, p.ActiveEpisodes)
 	for i := range g.episodes {
-		g.episodes[i] = g.newEpisode()
+		g.episodes[i].order = make([]int, 0, p.RegionBlocks)
+		g.refillEpisode(&g.episodes[i])
 	}
 	return g
+}
+
+// Reset rewinds the generator to the start of its stream: the next Next()
+// call returns exactly what a freshly built Generator with the same
+// (Params, seed, core) would, but without reallocating episode buffers.
+func (g *Generator) Reset() {
+	s := g.seed ^ uint64(g.core+1)*0x9e3779b97f4a7c15
+	*g.rng = *NewRNG(SplitMix64(&s))
+	g.Emitted = 0
+	for i := range g.episodes {
+		g.refillEpisode(&g.episodes[i])
+	}
 }
 
 // Params returns the workload parameters.
@@ -223,30 +236,33 @@ func (g *Generator) canonicalPattern(pcIdx int) (trigger int, pat uint64) {
 	return trigger, pat
 }
 
-// newEpisode opens a fresh region visit: with probability NoiseFrac a
-// one-off single-block noise visit, otherwise a pattern generation with a
-// PC, a pooled region, and the canonical pattern perturbed by PatternNoise.
-func (g *Generator) newEpisode() episode {
+// refillEpisode opens a fresh region visit in the given slot, reusing the
+// slot's access-order buffer so the steady state allocates nothing: with
+// probability NoiseFrac a one-off single-block noise visit, otherwise a
+// pattern generation with a PC, a pooled region, and the canonical pattern
+// perturbed by PatternNoise.
+func (g *Generator) refillEpisode(e *episode) {
 	if g.rng.Bool(g.p.NoiseFrac) {
-		return g.newNoiseVisit()
+		g.refillNoiseVisit(e)
+		return
 	}
-	return g.newPatternEpisode()
+	g.refillPatternEpisode(e)
 }
 
-// newNoiseVisit touches one block of a (practically) never-reused region.
-func (g *Generator) newNoiseVisit() episode {
+// refillNoiseVisit touches one block of a (practically) never-reused region.
+func (g *Generator) refillNoiseVisit(e *episode) {
 	region := memsys.Addr(g.rng.Intn(noiseSpace))
 	base := noiseBase + (memsys.Addr(g.core)<<33)*8 + region*g.regionBytes
 	pc := memsys.Addr(noisePCBase) + memsys.Addr(g.rng.Intn(1<<16))*4
-	return episode{
+	*e = episode{
 		pc:    pc,
 		base:  base,
-		order: []int{g.rng.Intn(g.p.RegionBlocks)},
+		order: append(e.order[:0], g.rng.Intn(g.p.RegionBlocks)),
 		first: true,
 	}
 }
 
-func (g *Generator) newPatternEpisode() episode {
+func (g *Generator) refillPatternEpisode(e *episode) {
 	pcIdx := g.pcZipf.Sample(g.rng)
 	trigger, pat := g.canonicalPattern(pcIdx)
 
@@ -266,14 +282,13 @@ func (g *Generator) newPatternEpisode() episode {
 		base = privateBase(g.core) + memsys.Addr(regionIdx-g.sharedCount)*g.regionBytes
 	}
 
-	order := make([]int, 0, bits.OnesCount64(pat))
-	order = append(order, trigger)
+	order := append(e.order[:0], trigger)
 	for b := 0; b < g.p.RegionBlocks; b++ {
 		if b != trigger && pat&(1<<uint(b)) != 0 {
 			order = append(order, b)
 		}
 	}
-	return episode{pc: pcAddr(pcIdx), base: base, order: order, first: true, shared: shared}
+	*e = episode{pc: pcAddr(pcIdx), base: base, order: order, first: true, shared: shared}
 }
 
 // Next returns the next access of this core's stream.
@@ -300,7 +315,7 @@ func (g *Generator) Next() Access {
 	if e.reps == 0 {
 		e.pos++
 		if e.pos == len(e.order) {
-			*e = g.newEpisode()
+			g.refillEpisode(e)
 		}
 	}
 	return a
