@@ -154,7 +154,7 @@ func BenchmarkAblationPVCacheSize(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := sim.Default(w)
 				cfg.Warmup, cfg.Measure = 30_000, 30_000
-				cfg.Prefetch = sim.PrefetcherConfig{Kind: sim.Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: entries}
+				cfg.Prefetch = sim.SMSVirtualizedSized(entries)
 				res := sim.Run(cfg)
 				pt := res.ProxyTotals()
 				b.ReportMetric(pt.HitRate()*100, "pvcache-hit-%")

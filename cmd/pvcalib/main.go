@@ -17,6 +17,8 @@ import (
 	"pvsim/internal/report"
 	"pvsim/internal/sim"
 	"pvsim/internal/workloads"
+
+	_ "pvsim/pv/predictors" // register the built-in predictor families
 )
 
 func main() {
@@ -57,7 +59,7 @@ func main() {
 				c := cfg
 				c.Prefetch = pc
 				res := sim.Run(c)
-				if pc == sim.SMS1K11 {
+				if pc.Label() == sim.SMS1K11.Label() {
 					ref = res
 				}
 				cov := sim.CoverageOf(bres, res)

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	pvsim [flags] list                 # show available experiments
+//	pvsim [flags] list                 # show experiments, predictors, named configs
 //	pvsim [flags] fig4 [fig6 ...]      # run specific experiments
 //	pvsim [flags] all                  # run everything, in paper order
 //
@@ -14,6 +14,11 @@
 //	-o file     write output to file instead of stdout
 //	-v          log per-run progress to stderr
 //	-p n        max parallel simulations (default GOMAXPROCS)
+//
+// list enumerates, besides the experiments, every predictor family in the
+// pv registry and every registered named configuration — the same
+// registry sim.Config resolves specs against, so what list prints is
+// exactly what a config can name.
 package main
 
 import (
@@ -21,9 +26,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"pvsim/internal/experiments"
 	"pvsim/internal/report"
+	"pvsim/pv"
+
+	_ "pvsim/pv/predictors" // register the built-in predictor families
 )
 
 func main() {
@@ -67,8 +76,18 @@ func run(args []string, stdout io.Writer) error {
 	for _, a := range fs.Args() {
 		switch a {
 		case "list":
+			fmt.Fprintln(out, "experiments:")
 			for _, e := range experiments.All() {
-				fmt.Fprintf(out, "%-8s %s\n", e.ID, e.Title)
+				fmt.Fprintf(out, "  %-8s %s\n", e.ID, e.Title)
+			}
+			fmt.Fprintf(out, "\nregistered predictors:\n  %s\n", strings.Join(pv.Names(), ", "))
+			fmt.Fprintln(out, "\nnamed configs:")
+			for _, name := range pv.SpecNames() {
+				s, err := pv.SpecByName(name)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "  %-12s %s\n", name, describeSpec(s))
 			}
 			return nil
 		case "all":
@@ -92,6 +111,18 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// describeSpec renders one registry entry for the list output.
+func describeSpec(s pv.Spec) string {
+	if !s.Enabled() {
+		return "no prefetcher (baseline)"
+	}
+	d := fmt.Sprintf("%s: %s, %s", s.Name, s.Label(), s.Mode)
+	if s.Mode == pv.Virtualized {
+		d += fmt.Sprintf(", %d-entry PVCache", s.PVCacheEntries)
+	}
+	return d
 }
 
 func emit(w io.Writer, doc *report.Doc, format string) error {

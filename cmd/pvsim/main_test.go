@@ -11,7 +11,12 @@ func TestRunList(t *testing.T) {
 	if err := run([]string{"list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"table1", "fig4", "fig11", "space"} {
+	for _, want := range []string{
+		"table1", "fig4", "fig11", "space", "btb",
+		// The registry sections: predictor families and named configs.
+		"registered predictors", "sms", "stride",
+		"named configs", "PV-8", "1K-11a", "stride-PV-8", "btb-PV-8",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("list output missing %q:\n%s", want, out.String())
 		}

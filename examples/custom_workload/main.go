@@ -16,6 +16,8 @@ import (
 	"pvsim/internal/sim"
 	"pvsim/internal/trace"
 	"pvsim/internal/workloads"
+
+	_ "pvsim/pv/predictors" // register the built-in predictor families
 )
 
 func main() {

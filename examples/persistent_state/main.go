@@ -19,8 +19,16 @@ import (
 	"fmt"
 
 	"pvsim/internal/sim"
+	"pvsim/internal/sms"
 	"pvsim/internal/workloads"
 )
+
+// smsAt reaches below the generic pv.Instance contract to the SMS adapter
+// of one core — examples that save/load PVTable images need the family's
+// concrete types.
+func smsAt(sys *sim.System, c int) *sms.Instance {
+	return sys.Predictor(c).(*sms.Instance)
+}
 
 const (
 	cores = 4
@@ -43,8 +51,8 @@ func main() {
 	}
 	images := make([]bytes.Buffer, cores)
 	for c := 0; c < cores; c++ {
-		first.VPHT(c).Proxy().Flush() // dirty sets must reach memory first
-		if err := first.VPHT(c).Table().Save(&images[c]); err != nil {
+		smsAt(first, c).VPHT().Proxy().Flush() // dirty sets must reach memory first
+		if err := smsAt(first, c).VPHT().Table().Save(&images[c]); err != nil {
 			panic(err)
 		}
 	}
@@ -56,7 +64,7 @@ func main() {
 		sys := sim.NewSystem(cfg)
 		if warm {
 			for c := 0; c < cores; c++ {
-				if err := sys.VPHT(c).Table().Load(bytes.NewReader(images[c].Bytes())); err != nil {
+				if err := smsAt(sys, c).VPHT().Table().Load(bytes.NewReader(images[c].Bytes())); err != nil {
 					panic(err)
 				}
 			}
@@ -67,8 +75,8 @@ func main() {
 		var covered, trig, hits uint64
 		for c := 0; c < cores; c++ {
 			covered += sys.Hier.Stats.Core[c].L1DPrefetchHits
-			trig += sys.Engine(c).Stats.Triggers
-			hits += sys.Engine(c).Stats.PHTLookupHits
+			trig += smsAt(sys, c).Engine().Stats.Triggers
+			hits += smsAt(sys, c).Engine().Stats.PHTLookupHits
 		}
 		name := "cold"
 		if warm {

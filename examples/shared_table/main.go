@@ -17,6 +17,8 @@ import (
 	"pvsim/internal/memsys"
 	"pvsim/internal/sim"
 	"pvsim/internal/workloads"
+
+	_ "pvsim/pv/predictors" // register the built-in predictor families
 )
 
 func main() {

@@ -47,7 +47,7 @@ func pvCacheSweep(r *Runner) report.Section {
 		cfgs = append(cfgs, ref)
 		for _, n := range sizes {
 			c := base
-			c.Prefetch = sim.PrefetcherConfig{Kind: sim.Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: n}
+			c.Prefetch = sim.SMSVirtualizedSized(n)
 			cfgs = append(cfgs, c)
 		}
 	}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pvsim/internal/btb"
+	"pvsim/internal/report"
+	"pvsim/internal/sim"
+	"pvsim/internal/workloads"
+	"pvsim/pv"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "btb",
+		Title: "Virtualized branch target buffers through the system path (§6 generality)",
+		Run:   btbExp,
+	})
+}
+
+// btbExp is the BTBVirtualized scenario: the paper's §6 names branch
+// target prediction as a predictor that "will naturally benefit from
+// predictor virtualization", and the pv registry makes that a one-spec
+// statement — the BTB family runs through exactly the same sim.System
+// wiring as the prefetchers, with its PVTable traffic sharing the L2, and
+// nothing under internal/sim knows the family exists. Each core's front
+// end replays a deterministic branch trace (one branch per memory access);
+// the comparison is a large dedicated BTB against the same geometry
+// virtualized behind the paper's 8-entry PVCache.
+func btbExp(r *Runner) *report.Doc {
+	names := []string{"Apache", "Oracle", "Qry17"}
+	ded := pv.Spec{Name: "btb", Mode: pv.Dedicated, Sets: 4096, Ways: 4}
+	virt := pv.Spec{Name: "btb", Mode: pv.Virtualized, Sets: 4096, Ways: 4, PVCacheEntries: 8}
+
+	var cfgs []sim.Config
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		base := r.baseConfig(w)
+		for _, pc := range []pv.Spec{{}, ded, virt} {
+			c := base
+			c.Prefetch = pc
+			cfgs = append(cfgs, c)
+		}
+	}
+	results := r.RunAll(cfgs)
+
+	t := report.NewTable("Workload", "BTB", "Target-correct", "BTB hit rate", "ΔL2 requests", "PVProxy L2-fill")
+	var effective string
+	for i, name := range names {
+		bres, dres, vres := results[3*i], results[3*i+1], results[3*i+2]
+		for _, row := range []struct {
+			res sim.Result
+		}{{dres}, {vres}} {
+			res := row.res
+			lookups := res.PredictorCounter("btb", "Lookups")
+			hits := res.PredictorCounter("btb", "Hits")
+			correct := res.PredictorCounter("stream", "Correct")
+			branches := res.PredictorCounter("stream", "Branches")
+			dl2 := relIncrease(res.Mem.L2RequestsTotal(), bres.Mem.L2RequestsTotal())
+			fill := "-"
+			if res.Config.Prefetch.Mode == pv.Virtualized {
+				pt := res.ProxyTotals()
+				fill = fmt.Sprintf("%.1f%%", pt.L2FillRate()*100)
+				pc := res.EffectiveProxy
+				effective = fmt.Sprintf("%d-entry PVCache, %d MSHRs, %d evict-buffer entries",
+					pc.CacheEntries, pc.MSHRs, pc.EvictBufEntries)
+				if res.ProxyClamped {
+					effective += " (clamped from the default shape)"
+				}
+			}
+			t.AddRow(name, res.Config.Prefetch.Label(),
+				fmtPct(float64(correct)/float64(branches)),
+				fmtPct(float64(hits)/float64(lookups)),
+				fmtPct(dl2), fill)
+		}
+	}
+
+	cfg := btb.DefaultConfig(ded.Sets)
+	cfg.Ways = ded.Ways
+	doc := &report.Doc{ID: "btb", Title: "BTB virtualization through the system path (§6)"}
+	doc.Add(report.Section{
+		Table: t,
+		Body: fmt.Sprintf(
+			"The %dx%d BTB costs %.0fKB of on-chip SRAM dedicated; virtualized it keeps the same\n"+
+				"logical table behind <1KB of PVProxy state (%s), its blocks\n"+
+				"streaming through the shared L2 next to the application's data. ΔL2 requests is the\n"+
+				"virtualization tax measured against a no-predictor baseline. Registered as predictor\n"+
+				"family %q — internal/sim needed no changes to run it (cf. pv registry).",
+			ded.Sets, ded.Ways, cfg.StorageBytes()/1024, effective, "btb"),
+	})
+	return doc
+}

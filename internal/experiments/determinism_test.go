@@ -1,6 +1,11 @@
 package experiments
 
-import "testing"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
 
 // determinismScale keeps the guard fast while still exercising warmup,
 // measurement and every prefetcher configuration fig4 sweeps.
@@ -37,6 +42,41 @@ func TestRunnerDeterminism(t *testing.T) {
 	d := e.Run(keep).Text()
 	if a != d {
 		t.Fatalf("KeepSystems re-run after Reset diverges (system reuse is not bit-identical):\n--- first ---\n%s\n--- rerun ---\n%s", a, d)
+	}
+}
+
+// goldenDigest pins the rendered text of `pvsim -scale 0.0025 -seed 42
+// fig4 stride fig6 ablations`, captured on the PrefetcherKind enum
+// implementation immediately before the pv-registry refactor. It asserts
+// the refactor's bit-identity promise: collapsing the typed predictor
+// slices into []pv.Instance changed no number in any pre-existing
+// experiment. If an *intentional* behaviour change lands later, re-capture
+// with:
+//
+//	go run ./cmd/pvsim -scale 0.0025 -seed 42 fig4 stride fig6 ablations | sha256sum
+const goldenDigest = "367382e37bfe4313d40531b8915e2c3545b54cc6510e3cca787bb9c3e635ce35"
+
+// TestGoldenReportDigest re-renders the pinned experiment set — SMS
+// dedicated/infinite sweeps (fig4), both stride forms (stride), the PV
+// comparison (fig6) and the §2.1/§2.2 design options including timing
+// arbitration (ablations) — and compares the byte stream against
+// goldenDigest.
+func TestGoldenReportDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden digest re-runs four experiments; skipped with -short")
+	}
+	r := NewRunner(Options{Scale: determinismScale, Seed: 42})
+	var sb strings.Builder
+	for _, id := range []string{"fig4", "stride", "fig6", "ablations"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.WriteString(e.Run(r).Text())
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	if got := hex.EncodeToString(sum[:]); got != goldenDigest {
+		t.Fatalf("report text diverged from the pre-refactor capture:\n got %s\nwant %s\n(run the pvsim command in the goldenDigest comment to inspect)", got, goldenDigest)
 	}
 }
 

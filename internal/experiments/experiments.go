@@ -110,8 +110,13 @@ func (r *Runner) timingConfig(w workloads.Workload) sim.Config {
 }
 
 func cacheKey(cfg sim.Config) string {
-	return fmt.Sprintf("%s|%s|seed=%d|w=%d|m=%d|t=%v|win=%d|l2=%d/%d/%d|mem=%d|oco=%v|shared=%v|cores=%d|prio=%v|banks=%d",
-		cfg.Workload.Name, cfg.Prefetch.Label(), cfg.Seed, cfg.Warmup, cfg.Measure,
+	// Labels are family-owned and compress geometry; the raw spec fields
+	// disambiguate families whose labels overlap and carry the params map.
+	return fmt.Sprintf("%s|%s|pred=%s/%d/%dx%d/%d/%v|seed=%d|w=%d|m=%d|t=%v|win=%d|l2=%d/%d/%d|mem=%d|oco=%v|shared=%v|cores=%d|prio=%v|banks=%d",
+		cfg.Workload.Name, cfg.Prefetch.Label(),
+		cfg.Prefetch.Name, cfg.Prefetch.Mode, cfg.Prefetch.Sets, cfg.Prefetch.Ways,
+		cfg.Prefetch.PVCacheEntries, cfg.Prefetch.Params,
+		cfg.Seed, cfg.Warmup, cfg.Measure,
 		cfg.Timing, cfg.Windows,
 		cfg.Hier.L2.SizeBytes, cfg.Hier.L2.TagLatency, cfg.Hier.L2.DataLatency,
 		cfg.Hier.MemLatency, cfg.Prefetch.OnChipOnly, cfg.Prefetch.SharedTable,
@@ -204,6 +209,7 @@ func All() []Experiment {
 		"table1": 0, "table2": 1, "table3": 2,
 		"fig4": 3, "fig5": 4, "fig6": 5, "fig7": 6, "fig8": 7,
 		"fig9": 8, "fig10": 9, "fig11": 10, "space": 11, "ablations": 12, "stride": 13,
+		"btb": 14,
 	}
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {

@@ -21,7 +21,7 @@ func init() {
 // sets to 32" remark.
 func pvComparison(r *Runner) (ref, pv8, pv16, pv32 []sim.Result) {
 	ws := workloads.All()
-	pv32cfg := sim.PrefetcherConfig{Kind: sim.Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: 32}
+	pv32cfg := sim.SMSVirtualizedSized(32)
 	var cfgs []sim.Config
 	for _, w := range ws {
 		base := r.baseConfig(w)

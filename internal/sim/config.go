@@ -3,115 +3,79 @@ package sim
 import (
 	"fmt"
 
-	pvcore "pvsim/internal/core"
 	"pvsim/internal/memsys"
-	"pvsim/internal/sms"
 	"pvsim/internal/workloads"
+	"pvsim/pv"
 )
 
-// PrefetcherKind selects the data-prefetch configuration.
-type PrefetcherKind uint8
+// PrefetcherConfig is the predictor selection of one run. It is exactly a
+// pv.Spec: a registry name plus build parameters, rather than the closed
+// enum earlier versions used — the simulator builds whatever family the
+// spec names, through the pv registry, without importing its package.
+type PrefetcherConfig = pv.Spec
 
-const (
-	// None is the paper's baseline: next-line instruction prefetching only.
-	None PrefetcherKind = iota
-	// Infinite is SMS with an unbounded PHT.
-	Infinite
-	// Dedicated is SMS with a conventional on-chip PHT.
-	Dedicated
-	// Virtualized is SMS with the PHT virtualized through a PVProxy.
-	Virtualized
-	// Stride is a classic PC-indexed stride prefetcher with a dedicated
-	// table (the "simplest proposal" baseline of the paper's intro).
-	Stride
-	// StrideVirtualized is the stride prefetcher with its table behind a
-	// PVProxy — PV's generality demonstrated on a second predictor.
-	StrideVirtualized
-)
-
-// PrefetcherConfig describes the per-core SMS instance.
-type PrefetcherConfig struct {
-	Kind PrefetcherKind
-
-	// Sets and Ways give the logical PHT geometry (Dedicated and
-	// Virtualized kinds).
-	Sets int
-	Ways int
-
-	// PVCacheEntries sizes the PVCache (Virtualized; the paper's final
-	// design uses 8).
-	PVCacheEntries int
-
-	// OnChipOnly enables the §2.2 option that never writes PV metadata
-	// off-chip.
-	OnChipOnly bool
-
-	// SharedTable makes all cores share one PVTable (§2.1 alternative)
-	// instead of each reserving its own chunk.
-	SharedTable bool
-
-	// AGT sizes the active generation table; zero value means the paper's
-	// tuned 32/64 entries.
-	AGT sms.AGTConfig
-}
-
-// Label names the configuration the way the paper's figures do
-// ("1K-11a", "PV-8", ...).
-func (c PrefetcherConfig) Label() string {
-	switch c.Kind {
-	case None:
-		return "none"
-	case Infinite:
-		return "Infinite"
-	case Dedicated:
-		if c.Sets >= 1024 && c.Sets%1024 == 0 {
-			return fmt.Sprintf("%dK-%da", c.Sets/1024, c.Ways)
-		}
-		return fmt.Sprintf("%d-%da", c.Sets, c.Ways)
-	case Virtualized:
-		return fmt.Sprintf("PV-%d", c.PVCacheEntries)
-	case Stride:
-		return fmt.Sprintf("stride-%d", c.Sets)
-	case StrideVirtualized:
-		return fmt.Sprintf("stride-PV-%d", c.PVCacheEntries)
-	}
-	return "unknown"
-}
-
-// Common configurations used throughout the evaluation.
+// Common configurations used throughout the evaluation, kept as thin
+// pv.Spec values so experiment labels and output stay exactly as the
+// paper's figures name them.
 var (
-	// Baseline has no data prefetcher.
-	Baseline = PrefetcherConfig{Kind: None}
+	// Baseline has no data prefetcher (next-line instruction prefetching
+	// only).
+	Baseline = pv.Spec{}
 	// SMSInfinite upper-bounds coverage.
-	SMSInfinite = PrefetcherConfig{Kind: Infinite}
+	SMSInfinite = pv.Spec{Name: "sms", Mode: pv.Infinite}
 	// SMS1K16 is the original SMS study's best table (86KB).
-	SMS1K16 = PrefetcherConfig{Kind: Dedicated, Sets: 1024, Ways: 16}
+	SMS1K16 = pv.Spec{Name: "sms", Mode: pv.Dedicated, Sets: 1024, Ways: 16}
 	// SMS1K11 is the virtualization-friendly geometry (59.125KB).
-	SMS1K11 = PrefetcherConfig{Kind: Dedicated, Sets: 1024, Ways: 11}
+	SMS1K11 = pv.Spec{Name: "sms", Mode: pv.Dedicated, Sets: 1024, Ways: 11}
 	// SMS16 and SMS8 are the small dedicated tables of Figures 4/9.
-	SMS16 = PrefetcherConfig{Kind: Dedicated, Sets: 16, Ways: 11}
-	SMS8  = PrefetcherConfig{Kind: Dedicated, Sets: 8, Ways: 11}
+	SMS16 = pv.Spec{Name: "sms", Mode: pv.Dedicated, Sets: 16, Ways: 11}
+	SMS8  = pv.Spec{Name: "sms", Mode: pv.Dedicated, Sets: 8, Ways: 11}
 	// PV8 and PV16 are the virtualized 1K-11 PHT with 8- and 16-entry
 	// PVCaches.
-	PV8  = PrefetcherConfig{Kind: Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: 8}
-	PV16 = PrefetcherConfig{Kind: Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: 16}
+	PV8  = pv.Spec{Name: "sms", Mode: pv.Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: 8}
+	PV16 = pv.Spec{Name: "sms", Mode: pv.Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: 16}
 	// StrideLarge is a generously sized dedicated stride prefetcher;
 	// StridePV8 is the same table virtualized behind an 8-entry PVCache.
-	StrideLarge = PrefetcherConfig{Kind: Stride, Sets: 1024, Ways: 4}
-	StridePV8   = PrefetcherConfig{Kind: StrideVirtualized, Sets: 1024, Ways: 4, PVCacheEntries: 8}
+	StrideLarge = pv.Spec{Name: "stride", Mode: pv.Dedicated, Sets: 1024, Ways: 4}
+	StridePV8   = pv.Spec{Name: "stride", Mode: pv.Virtualized, Sets: 1024, Ways: 4, PVCacheEntries: 8}
 )
 
-// DedicatedSized returns an 11-way dedicated config with the given sets
-// (the Figure 5 sweep).
-func DedicatedSized(sets int) PrefetcherConfig {
-	return PrefetcherConfig{Kind: Dedicated, Sets: sets, Ways: 11}
+func init() {
+	// Publish the evaluation's standard setups in the pv registry so tools
+	// (cmd/pvsim -list) can enumerate and resolve them by name.
+	for name, s := range map[string]pv.Spec{
+		"none":        Baseline,
+		"Infinite":    SMSInfinite,
+		"1K-16a":      SMS1K16,
+		"1K-11a":      SMS1K11,
+		"16-11a":      SMS16,
+		"8-11a":       SMS8,
+		"PV-8":        PV8,
+		"PV-16":       PV16,
+		"stride-1K":   StrideLarge,
+		"stride-PV-8": StridePV8,
+	} {
+		pv.RegisterSpec(name, s)
+	}
+}
+
+// DedicatedSized returns an 11-way dedicated SMS config with the given
+// sets (the Figure 5 sweep).
+func DedicatedSized(sets int) pv.Spec {
+	return pv.Spec{Name: "sms", Mode: pv.Dedicated, Sets: sets, Ways: 11}
+}
+
+// SMSVirtualizedSized returns the 1K-11a PHT virtualized behind a PVCache
+// of the given entry count (the §4.3 sweep).
+func SMSVirtualizedSized(entries int) pv.Spec {
+	return pv.Spec{Name: "sms", Mode: pv.Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: entries}
 }
 
 // Config is one simulation run.
 type Config struct {
 	Workload workloads.Workload
 	Hier     memsys.Config
-	Prefetch PrefetcherConfig
+	Prefetch pv.Spec
 
 	// Seed makes runs reproducible; runs with equal Workload+Seed see
 	// identical access streams regardless of prefetcher configuration.
@@ -146,7 +110,9 @@ func Default(w workloads.Workload) Config {
 	}
 }
 
-// Validate checks the run configuration.
+// Validate checks the run configuration, including the predictor spec
+// against the pv registry (an unknown predictor name errors with the
+// registered alternatives).
 func (c Config) Validate() error {
 	if err := c.Hier.Validate(); err != nil {
 		return err
@@ -160,54 +126,21 @@ func (c Config) Validate() error {
 	if c.Windows < 0 || (c.Windows > 0 && c.Measure/c.Windows == 0) {
 		return fmt.Errorf("sim: %d windows over %d accesses", c.Windows, c.Measure)
 	}
-	switch c.Prefetch.Kind {
-	case Dedicated, Virtualized, Stride, StrideVirtualized:
-		if c.Prefetch.Sets <= 0 || c.Prefetch.Ways <= 0 {
-			return fmt.Errorf("sim: prefetcher %s needs sets/ways", c.Prefetch.Label())
-		}
+	if err := c.Prefetch.Validate(); err != nil {
+		return err
 	}
-	switch c.Prefetch.Kind {
-	case Virtualized, StrideVirtualized:
-		if c.Prefetch.PVCacheEntries <= 0 {
-			return fmt.Errorf("sim: virtualized prefetcher needs PVCacheEntries")
+	// pv.TableStart spaces per-core PVTables 1MB apart, which bounds a
+	// virtualized table at Sets x block bytes <= 1MB; a larger table would
+	// silently overlap the next core's reserved range.
+	ranges := c.Prefetch.PVRanges(c.Hier.Cores, c.Hier.L2.BlockBytes)
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i-1].End > ranges[i].Start {
+			return fmt.Errorf("sim: %s PVTable (%dKB/core) exceeds the 1MB PVStart spacing; per-core reserved ranges overlap",
+				c.Prefetch.Label(), c.Prefetch.Sets*c.Hier.L2.BlockBytes/1024)
 		}
 	}
 	return nil
 }
 
-// pvStartBase places PVTables in reserved physical memory below 4GB (the
-// simulated machine has 3GB; the reservation is OS-invisible, §2.1).
-const pvStartBase = 0xF000_0000
-
-// PVStart returns core c's PVStart register value; tables are spaced 1MB
-// apart.
-func PVStart(c int) memsys.Addr { return pvStartBase + memsys.Addr(c)<<20 }
-
-// pvRanges computes the reserved ranges for traffic classification.
-func pvRanges(cfg Config) []memsys.AddrRange {
-	if cfg.Prefetch.Kind != Virtualized && cfg.Prefetch.Kind != StrideVirtualized {
-		return nil
-	}
-	tableBytes := cfg.Prefetch.Sets * cfg.Hier.L2.BlockBytes
-	if cfg.Prefetch.SharedTable {
-		return []memsys.AddrRange{{Start: PVStart(0), End: PVStart(0) + memsys.Addr(tableBytes)}}
-	}
-	out := make([]memsys.AddrRange, cfg.Hier.Cores)
-	for i := range out {
-		out[i] = memsys.AddrRange{Start: PVStart(i), End: PVStart(i) + memsys.Addr(tableBytes)}
-	}
-	return out
-}
-
-// proxyConfig builds the PVProxy configuration for core c.
-func proxyConfig(cfg Config, c int) pvcore.ProxyConfig {
-	pc := pvcore.DefaultProxyConfig(fmt.Sprintf("vpht.%d", c))
-	pc.CacheEntries = cfg.Prefetch.PVCacheEntries
-	if pc.MSHRs > pc.CacheEntries {
-		pc.MSHRs = pc.CacheEntries
-	}
-	if pc.EvictBufEntries > pc.CacheEntries {
-		pc.EvictBufEntries = pc.CacheEntries
-	}
-	return pc
-}
+// PVStart returns core c's PVStart register value (see pv.TableStart).
+func PVStart(c int) memsys.Addr { return pv.TableStart(c) }

@@ -1,6 +1,6 @@
-// Package sim wires cores, caches, SMS engines and PVProxies into the
-// quad-core system of Table 1 and runs functional (miss/traffic counting)
-// or timing (sampled IPC) simulations over the synthetic workloads.
+// Package sim wires cores, caches and predictors into the quad-core
+// system of Table 1 and runs functional (miss/traffic counting) or timing
+// (sampled IPC) simulations over the synthetic workloads.
 //
 // # Layering
 //
@@ -10,15 +10,17 @@
 //	trace.Generator ──▶ System.Step ──▶ memsys.Hierarchy (L1/L2/memory)
 //	                        │                   ▲
 //	                        ▼                   │ PVRead / PVWriteback
-//	                 sms.Engine / stride.Engine │
-//	                        │ PatternStore      │
+//	                  pv.Instance (per core)    │
+//	                        │                   │
 //	                        ▼                   │
-//	                 sms.VirtualizedPHT ──▶ core.Proxy ──▶ core.Table
+//	        family engine ──▶ core.Proxy ──▶ core.Table  (virtualized)
 //
-// Config selects the predictor organization (PrefetcherConfig: none,
-// infinite, dedicated, virtualized, stride, virtualized stride) and places
-// PVTables in reserved physical ranges via PVStart, which the hierarchy
-// uses to classify PV traffic.
+// Config selects the predictor through a pv.Spec — a registry name plus
+// geometry/mode — rather than a closed enum: the System builds whatever
+// family the spec names ("sms", "stride", "btb", or a third-party
+// registration) via the pv registry, places its PVTables in reserved
+// physical ranges (pv.TableStart), and classifies the resulting traffic.
+// Adding a predictor family requires no change in this package.
 //
 // # Running
 //

@@ -4,7 +4,9 @@ import (
 	"reflect"
 	"testing"
 
+	"pvsim/internal/sms"
 	"pvsim/internal/workloads"
+	"pvsim/pv"
 )
 
 // resetConfigs covers every prefetcher wiring the system supports, plus the
@@ -33,9 +35,9 @@ func resetConfigs(t *testing.T) map[string]Config {
 	inf.Prefetch = SMSInfinite
 	cfgs["infinite"] = inf
 
-	pv := small()
-	pv.Prefetch = PV8
-	cfgs["pv8"] = pv
+	pv8 := small()
+	pv8.Prefetch = PV8
+	cfgs["pv8"] = pv8
 
 	shared := small()
 	shared.Prefetch = PV8
@@ -52,6 +54,14 @@ func resetConfigs(t *testing.T) map[string]Config {
 	stridePV.Prefetch = StridePV8
 	cfgs["stride-pv"] = stridePV
 
+	btbDed := small()
+	btbDed.Prefetch = pv.Spec{Name: "btb", Mode: pv.Dedicated, Sets: 512, Ways: 4}
+	cfgs["btb-dedicated"] = btbDed
+
+	btbPV := small()
+	btbPV.Prefetch = pv.Spec{Name: "btb", Mode: pv.Virtualized, Sets: 512, Ways: 4, PVCacheEntries: 8}
+	cfgs["btb-pv"] = btbPV
+
 	timing := small()
 	timing.Prefetch = PV8
 	timing.Timing = true
@@ -63,8 +73,8 @@ func resetConfigs(t *testing.T) map[string]Config {
 
 // TestSystemResetBitIdentical is the aliasing guard for the buffer-reuse
 // refactor: a Reset system must reproduce a fresh system's Result exactly,
-// for every prefetcher kind, and earlier Results must not be clobbered by
-// later runs on the same system.
+// for every prefetcher family and mode, and earlier Results must not be
+// clobbered by later runs on the same system.
 func TestSystemResetBitIdentical(t *testing.T) {
 	for name, cfg := range resetConfigs(t) {
 		t.Run(name, func(t *testing.T) {
@@ -92,7 +102,8 @@ func TestSystemResetBitIdentical(t *testing.T) {
 }
 
 // TestSystemResetEngineInvariants runs, resets and re-runs a PV system and
-// checks the SMS engines' internal index consistency afterwards.
+// checks the SMS engines' internal index consistency afterwards, reaching
+// the engine through the family's adapter type.
 func TestSystemResetEngineInvariants(t *testing.T) {
 	w, err := workloads.ByName("DB2")
 	if err != nil {
@@ -106,10 +117,14 @@ func TestSystemResetEngineInvariants(t *testing.T) {
 	sys.Reset()
 	sys.Run()
 	for c := 0; c < sys.Hier.Config().Cores; c++ {
-		if err := sys.Engine(c).CheckInvariants(); err != nil {
+		inst, ok := sys.Predictor(c).(*sms.Instance)
+		if !ok {
+			t.Fatalf("core %d predictor is %T, want *sms.Instance", c, sys.Predictor(c))
+		}
+		if err := inst.Engine().CheckInvariants(); err != nil {
 			t.Fatalf("core %d after reset+rerun: %v", c, err)
 		}
-		if err := sys.VPHT(c).Proxy().CheckInvariants(); err != nil {
+		if err := inst.VPHT().Proxy().CheckInvariants(); err != nil {
 			t.Fatalf("core %d proxy after reset+rerun: %v", c, err)
 		}
 	}

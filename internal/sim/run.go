@@ -4,9 +4,8 @@ import (
 	pvcore "pvsim/internal/core"
 	"pvsim/internal/cpu"
 	"pvsim/internal/memsys"
-	"pvsim/internal/sms"
 	"pvsim/internal/stats"
-	"pvsim/internal/stride"
+	"pvsim/pv"
 )
 
 // Result carries everything the experiments need from one run.
@@ -16,13 +15,21 @@ type Result struct {
 	// Mem holds hierarchy statistics for the measured phase only.
 	Mem memsys.Stats
 
-	// Engines/PHTs/Proxies hold per-core prefetcher statistics (empty
-	// slices for the no-prefetch baseline); Strides is filled for the
-	// stride prefetcher kinds instead of Engines/PHTs.
-	Engines []sms.EngineStats
-	PHTs    []sms.PHTStats
-	Strides []stride.Stats
+	// Predictors holds one statistics snapshot per core (nil for the
+	// no-prefetch baseline). The snapshots are generic — named counter
+	// groups — so a new predictor family reports through them with no
+	// changes here.
+	Predictors []pv.Stats
+
+	// Proxies holds per-core PVProxy statistics (virtualized runs only).
 	Proxies []pvcore.ProxyStats
+
+	// EffectiveProxy is the PVProxy configuration actually built for
+	// virtualized runs — after the MSHR/evict-buffer clamping that keeps
+	// tiny PVCaches valid — and ProxyClamped reports whether that clamping
+	// changed the default shape. Zero/false otherwise.
+	EffectiveProxy pvcore.ProxyConfig
+	ProxyClamped   bool
 
 	// Timing results (zero for functional runs).
 	Instrs    float64
@@ -72,6 +79,16 @@ func (r *Result) CoveredMisses() uint64 {
 	var t uint64
 	for _, c := range r.Mem.Core {
 		t += c.L1DPrefetchHits
+	}
+	return t
+}
+
+// PredictorCounter sums one named predictor counter (group/name, see
+// pv.Stats) across cores.
+func (r *Result) PredictorCounter(group, name string) uint64 {
+	var t uint64
+	for _, p := range r.Predictors {
+		t += p.Counter(group, name)
 	}
 	return t
 }
@@ -146,8 +163,8 @@ func (sys *System) Run() Result {
 		}
 	}
 
-	res := Result{Config: cfg, Mem: sys.Hier.Stats, WindowIPC: windowIPC}
-	collectStats(sys, &res)
+	res := Result{Config: cfg, WindowIPC: windowIPC}
+	collectStats(sys, &res) // fills Mem with a deep copy
 	if cfg.Timing {
 		snapshotsInto(sys, sys.snapCur)
 		for c := 0; c < n; c++ {
@@ -164,53 +181,32 @@ func (sys *System) Run() Result {
 	return res
 }
 
-// collectStats copies engine/PHT/proxy statistics from a finished system
-// into res. Per-core slices are deep-copied: the system may be Reset and
-// reused after the Result escapes, so the Result must not alias live
-// simulator state.
+// collectStats copies predictor/proxy statistics from a finished system
+// into res through the pv contract alone. Everything is deep-copied: the
+// system may be Reset and reused after the Result escapes, so the Result
+// must not alias live simulator state.
 func collectStats(sys *System, res *Result) {
-	n := sys.Hier.Config().Cores
 	res.Mem = sys.Hier.Stats
 	res.Mem.Core = append([]memsys.CoreStats(nil), sys.Hier.Stats.Core...)
-	switch sys.cfg.Prefetch.Kind {
-	case None:
-	case Stride, StrideVirtualized:
-		res.Strides = make([]stride.Stats, n)
-		for c := 0; c < n; c++ {
-			res.Strides[c] = sys.strides[c].Stats
-		}
-		if sys.cfg.Prefetch.Kind == StrideVirtualized {
-			res.Proxies = make([]pvcore.ProxyStats, n)
-			for c := 0; c < n; c++ {
-				res.Proxies[c] = sys.strides[c].Virtual().Proxy().Stats
-			}
-		}
-	default:
-		res.Engines = make([]sms.EngineStats, n)
-		res.PHTs = make([]sms.PHTStats, n)
-		for c := 0; c < n; c++ {
-			res.Engines[c] = sys.engines[c].Stats
-			switch pht := phtOf(sys, c).(type) {
-			case *sms.DedicatedPHT:
-				res.PHTs[c] = pht.Stats
-			case *sms.VirtualizedPHT:
-				res.PHTs[c] = pht.Stats
-			}
-		}
-		if sys.cfg.Prefetch.Kind == Virtualized {
-			res.Proxies = make([]pvcore.ProxyStats, n)
-			for c := 0; c < n; c++ {
-				res.Proxies[c] = sys.vphts[c].Proxy().Stats
-			}
-		}
+	if !sys.cfg.Prefetch.Enabled() {
+		return
 	}
-}
-
-func phtOf(sys *System, c int) sms.PatternStore {
-	if sys.engines[c] == nil {
-		return nil
+	n := sys.Hier.Config().Cores
+	res.Predictors = make([]pv.Stats, n)
+	for c := 0; c < n; c++ {
+		res.Predictors[c] = sys.preds[c].Stats()
 	}
-	return sys.engines[c].PHT()
+	if sys.cfg.Prefetch.Mode == pv.Virtualized {
+		res.Proxies = make([]pvcore.ProxyStats, n)
+		for c := 0; c < n; c++ {
+			if v, ok := sys.preds[c].(pv.Virtualizable); ok {
+				if ps := v.ProxyStats(); ps != nil {
+					res.Proxies[c] = *ps
+				}
+			}
+		}
+		res.EffectiveProxy, res.ProxyClamped = sys.EffectiveProxyConfig()
+	}
 }
 
 // snapshotsInto fills out with every core's (instrs, cycles) accumulators;

@@ -92,7 +92,7 @@ func RunSMARTS(cfg Config, plan SMARTSConfig) Result {
 		}
 	}
 
-	res := Result{Config: cfg, Mem: sys.Hier.Stats, WindowIPC: windowIPC}
+	res := Result{Config: cfg, WindowIPC: windowIPC}
 	res.Instrs = totalInstr
 	res.Cycles = maxCycles
 	if maxCycles > 0 {

@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 
 	"pvsim/internal/memsys"
 	"pvsim/internal/workloads"
+	"pvsim/pv"
+
+	_ "pvsim/pv/predictors" // register sms, stride, btb
 )
 
 // quickConfig returns a small, fast run of the given workload.
@@ -31,28 +35,56 @@ func TestConfigValidate(t *testing.T) {
 		t.Error("zero measure accepted")
 	}
 	bad = cfg
-	bad.Prefetch = PrefetcherConfig{Kind: Dedicated}
+	bad.Prefetch = pv.Spec{Name: "sms", Mode: pv.Dedicated}
 	if err := bad.Validate(); err == nil {
 		t.Error("dedicated without geometry accepted")
 	}
 	bad = cfg
-	bad.Prefetch = PrefetcherConfig{Kind: Virtualized, Sets: 1024, Ways: 11}
+	bad.Prefetch = pv.Spec{Name: "sms", Mode: pv.Virtualized, Sets: 1024, Ways: 11}
 	if err := bad.Validate(); err == nil {
 		t.Error("virtualized without PVCache size accepted")
+	}
+	bad = cfg
+	bad.Prefetch = pv.Spec{Name: "sms", Mode: pv.Mode(9), Sets: 16, Ways: 2}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-range mode accepted")
+	}
+	bad = cfg
+	// 32K sets x 64B = 2MB per core: overflows the 1MB PVStart spacing and
+	// would overlap the next core's reserved range.
+	bad.Prefetch = pv.Spec{Name: "sms", Mode: pv.Virtualized, Sets: 32768, Ways: 11, PVCacheEntries: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("PVTable larger than the PVStart spacing accepted")
+	}
+	bad = cfg
+	bad.Prefetch = pv.Spec{Name: "no-such-predictor", Mode: pv.Dedicated, Sets: 16, Ways: 2}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("unregistered predictor accepted")
+	}
+	// The error must name the registered alternatives, not just "unknown".
+	for _, want := range []string{"sms", "stride", "btb"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-predictor error %q does not list %q", err, want)
+		}
 	}
 }
 
 func TestPrefetcherLabels(t *testing.T) {
 	cases := map[string]PrefetcherConfig{
-		"none":     Baseline,
-		"Infinite": SMSInfinite,
-		"1K-16a":   SMS1K16,
-		"1K-11a":   SMS1K11,
-		"16-11a":   SMS16,
-		"8-11a":    SMS8,
-		"PV-8":     PV8,
-		"PV-16":    PV16,
-		"512-11a":  DedicatedSized(512),
+		"none":        Baseline,
+		"Infinite":    SMSInfinite,
+		"1K-16a":      SMS1K16,
+		"1K-11a":      SMS1K11,
+		"16-11a":      SMS16,
+		"8-11a":       SMS8,
+		"PV-8":        PV8,
+		"PV-16":       PV16,
+		"512-11a":     DedicatedSized(512),
+		"stride-1024": StrideLarge,
+		"stride-PV-8": StridePV8,
+		"btb-PV-8": {Name: "btb", Mode: pv.Virtualized,
+			Sets: 4096, Ways: 4, PVCacheEntries: 8},
 	}
 	for want, pc := range cases {
 		if got := pc.Label(); got != want {
@@ -72,7 +104,7 @@ func TestPVStartPlacement(t *testing.T) {
 	for _, w := range workloads.All() {
 		cfg := Default(w)
 		cfg.Prefetch = PV8
-		for _, r := range pvRanges(cfg) {
+		for _, r := range cfg.Prefetch.PVRanges(cfg.Hier.Cores, cfg.Hier.L2.BlockBytes) {
 			if r.Start >= 0x1_0000_0000 {
 				t.Errorf("PV range %v overlaps application windows", r)
 			}
@@ -91,7 +123,7 @@ func TestBaselineRunProducesTraffic(t *testing.T) {
 	if res.PrefetchIssued() != 0 {
 		t.Error("baseline issued prefetches")
 	}
-	if len(res.Engines) != 0 || len(res.Proxies) != 0 {
+	if len(res.Predictors) != 0 || len(res.Proxies) != 0 {
 		t.Error("baseline carries prefetcher stats")
 	}
 }
@@ -219,7 +251,7 @@ func TestSharedTableRuns(t *testing.T) {
 	cfg.Prefetch = PV8
 	cfg.Prefetch.SharedTable = true
 	res := Run(cfg)
-	if got := len(pvRanges(cfg)); got != 1 {
+	if got := len(cfg.Prefetch.PVRanges(cfg.Hier.Cores, cfg.Hier.L2.BlockBytes)); got != 1 {
 		t.Fatalf("shared table has %d ranges", got)
 	}
 	if res.ProxyTotals().Fetches == 0 {
@@ -247,14 +279,26 @@ func TestCoverageOfEmptyBaseline(t *testing.T) {
 }
 
 func TestProxyConfigScalesDown(t *testing.T) {
-	cfg := quickConfig(t, "Apache")
-	cfg.Prefetch = PrefetcherConfig{Kind: Virtualized, Sets: 1024, Ways: 11, PVCacheEntries: 2}
-	pc := proxyConfig(cfg, 0)
+	pc, clamped := pv.ProxyConfigFor(SMSVirtualizedSized(2), "test")
 	if pc.MSHRs > pc.CacheEntries || pc.EvictBufEntries > pc.CacheEntries {
 		t.Errorf("proxy config not scaled down: %+v", pc)
 	}
+	if !clamped {
+		t.Error("clamping not reported for a 2-entry PVCache")
+	}
 	if err := pc.Validate(); err != nil {
 		t.Fatal(err)
+	}
+	// The paper's default shape needs no clamping, and the run must record
+	// the effective configuration either way.
+	if _, clamped := pv.ProxyConfigFor(PV8, "test"); clamped {
+		t.Error("PV-8 reported as clamped")
+	}
+	cfg := quickConfig(t, "Apache")
+	cfg.Prefetch = SMSVirtualizedSized(2)
+	res := Run(cfg)
+	if res.EffectiveProxy.MSHRs != 2 || res.EffectiveProxy.EvictBufEntries != 2 || !res.ProxyClamped {
+		t.Errorf("effective proxy config not recorded: %+v clamped=%v", res.EffectiveProxy, res.ProxyClamped)
 	}
 }
 
@@ -299,11 +343,7 @@ func TestTimingVirtualizedUsesPatternBuffer(t *testing.T) {
 	// The buffer exists and is finite; drops may or may not occur, but the
 	// accounting fields must be consistent: predicted blocks only flow when
 	// reservations succeed.
-	var eng uint64
-	for _, e := range res.Engines {
-		eng += e.PredictedBlocks
-	}
-	if eng == 0 {
+	if res.PredictorCounter("engine", "PredictedBlocks") == 0 {
 		t.Fatal("no predictions in timing PV run")
 	}
 }
@@ -343,14 +383,10 @@ func TestStridePrefetcherRuns(t *testing.T) {
 	cfg := quickConfig(t, "Qry1")
 	cfg.Prefetch = StrideLarge
 	res := Run(cfg)
-	if len(res.Strides) == 0 {
+	if len(res.Predictors) == 0 {
 		t.Fatal("no stride stats")
 	}
-	var pf uint64
-	for _, s := range res.Strides {
-		pf += s.Prefetches
-	}
-	if pf == 0 {
+	if res.PredictorCounter("stride", "Prefetches") == 0 {
 		t.Fatal("stride engine issued no prefetches on scan-dominated Qry1")
 	}
 	cov := CoverageOf(base, res)
@@ -378,6 +414,39 @@ func TestStrideVirtualizedMatchesDedicated(t *testing.T) {
 	}
 	if pres.Mem.L2Requests[memsys.PVFetch] == 0 {
 		t.Error("no PV traffic classified for virtualized stride")
+	}
+}
+
+// TestBTBThroughSystem is the generality acceptance check: a predictor
+// family this package never imports (the BTB) runs through the same System
+// path as the prefetchers — virtualized table traffic shows up as PV
+// traffic in the shared L2, statistics flow through the generic snapshots,
+// and nothing under internal/sim names the family.
+func TestBTBThroughSystem(t *testing.T) {
+	cfg := quickConfig(t, "Apache")
+	cfg.Prefetch = pv.Spec{Name: "btb", Mode: pv.Virtualized, Sets: 4096, Ways: 4, PVCacheEntries: 8}
+	res := Run(cfg)
+
+	lookups := res.PredictorCounter("btb", "Lookups")
+	hits := res.PredictorCounter("btb", "Hits")
+	if lookups == 0 || hits == 0 {
+		t.Fatalf("BTB idle: %d lookups, %d hits", lookups, hits)
+	}
+	if res.PredictorCounter("stream", "Branches") != lookups {
+		t.Errorf("branch stream (%d) and BTB lookups (%d) out of step",
+			res.PredictorCounter("stream", "Branches"), lookups)
+	}
+	if res.ProxyTotals().Fetches == 0 {
+		t.Error("virtualized BTB issued no PVProxy fetches")
+	}
+	if res.Mem.L2Requests[memsys.PVFetch] == 0 {
+		t.Error("no PV traffic classified for the virtualized BTB")
+	}
+	ded := cfg
+	ded.Prefetch = pv.Spec{Name: "btb", Mode: pv.Dedicated, Sets: 4096, Ways: 4}
+	dres := Run(ded)
+	if dres.Mem.L2Requests[memsys.PVFetch] != 0 {
+		t.Error("dedicated BTB produced PV traffic")
 	}
 }
 

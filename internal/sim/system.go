@@ -1,37 +1,37 @@
 package sim
 
 import (
+	"fmt"
+	"log"
+
 	pvcore "pvsim/internal/core"
 	"pvsim/internal/cpu"
 	"pvsim/internal/memsys"
-	"pvsim/internal/sms"
-	"pvsim/internal/stride"
 	"pvsim/internal/trace"
+	"pvsim/pv"
 )
 
-// DataPrefetcher is the training interface every data prefetcher satisfies:
-// it observes the L1D access stream and block evictions. sms.Engine and
-// stride.Engine both implement it.
-type DataPrefetcher interface {
-	OnAccess(now uint64, pc, addr memsys.Addr)
-	OnEvict(now uint64, addr memsys.Addr)
-}
-
-// System is one fully-wired CMP: generators, hierarchy, per-core SMS
-// engines (optional) and per-core timing models.
+// System is one fully-wired CMP: generators, hierarchy, one pv.Instance
+// per core (nil without a prefetcher) and per-core timing models. The
+// system knows nothing about any concrete predictor family — every family
+// the pv registry holds, including third-party ones, runs through the
+// same wiring.
 type System struct {
-	cfg         Config
-	Hier        *memsys.Hierarchy
-	gens        []*trace.Generator
-	prefetchers []DataPrefetcher      // nil entries when Prefetch.Kind == None
-	engines     []*sms.Engine         // SMS view of prefetchers (nil for stride)
-	strides     []*stride.Engine      // stride view of prefetchers (nil for SMS)
-	vphts       []*sms.VirtualizedPHT // nil when not virtualized
-	cores       []*cpu.Core
-	clock       []uint64
+	cfg   Config
+	Hier  *memsys.Hierarchy
+	gens  []*trace.Generator
+	preds []pv.Instance // nil entries when Prefetch is the baseline
+	cores []*cpu.Core
+	clock []uint64
 	// inflight tracks outstanding prefetch completion times per core for
 	// timeliness modeling (timing runs only).
 	inflight []map[memsys.Addr]uint64
+
+	// proxyCfg/proxyClamped record the effective PVProxy configuration
+	// (after MSHR/evict-buffer clamping) for virtualized runs, so reports
+	// can show what was actually built rather than what was asked for.
+	proxyCfg     pvcore.ProxyConfig
+	proxyClamped bool
 
 	// snapStart/snapPrev/snapCur are the per-core snapshot buffers Run
 	// reuses across measurement windows (and across runs on a reused
@@ -43,14 +43,14 @@ type System struct {
 	detail bool
 }
 
-// prefetchSink routes one core's SMS predictions into the hierarchy and the
+// prefetchSink routes one core's predictions into the hierarchy and the
 // in-flight table.
 type prefetchSink struct {
 	sys  *System
 	core int
 }
 
-// Prefetch implements sms.PrefetchSink.
+// Prefetch implements pv.Sink.
 func (s prefetchSink) Prefetch(addr memsys.Addr, availableAt uint64) {
 	sys := s.sys
 	res, issued := sys.Hier.Prefetch(s.core, addr)
@@ -73,43 +73,41 @@ func NewSystem(cfg Config) *System {
 		panic(err)
 	}
 	hcfg := cfg.Hier
-	hcfg.PVRanges = pvRanges(cfg)
+	hcfg.PVRanges = cfg.Prefetch.PVRanges(hcfg.Cores, hcfg.L2.BlockBytes)
 	hcfg.OnChipOnlyPV = cfg.Prefetch.OnChipOnly
 	// Bank arbitration needs a advancing clock; timing runs provide one.
 	hcfg.ModelBankContention = cfg.Timing && hcfg.L2Banks > 0
 
 	n := hcfg.Cores
 	sys := &System{
-		cfg:         cfg,
-		detail:      true,
-		Hier:        memsys.New(hcfg),
-		gens:        make([]*trace.Generator, n),
-		prefetchers: make([]DataPrefetcher, n),
-		engines:     make([]*sms.Engine, n),
-		strides:     make([]*stride.Engine, n),
-		vphts:       make([]*sms.VirtualizedPHT, n),
-		cores:       make([]*cpu.Core, n),
-		clock:       make([]uint64, n),
-		inflight:    make([]map[memsys.Addr]uint64, n),
-		snapStart:   make([]cpu.Snapshot, n),
-		snapPrev:    make([]cpu.Snapshot, n),
-		snapCur:     make([]cpu.Snapshot, n),
+		cfg:       cfg,
+		detail:    true,
+		Hier:      memsys.New(hcfg),
+		gens:      make([]*trace.Generator, n),
+		preds:     make([]pv.Instance, n),
+		cores:     make([]*cpu.Core, n),
+		clock:     make([]uint64, n),
+		inflight:  make([]map[memsys.Addr]uint64, n),
+		snapStart: make([]cpu.Snapshot, n),
+		snapPrev:  make([]cpu.Snapshot, n),
+		snapCur:   make([]cpu.Snapshot, n),
 	}
 
-	geom := sms.DefaultGeometry()
-	geom.BlockBytes = hcfg.L1D.BlockBytes
-	agt := cfg.Prefetch.AGT
-	if agt.FilterEntries == 0 && agt.AccumEntries == 0 {
-		agt = sms.DefaultAGTConfig()
-	}
-	ecfg := sms.Config{Geom: geom, AGT: agt}
-	if cfg.Timing {
-		// The §4.6 pattern buffer only constrains timing runs; functional
-		// runs never advance the clock, so entries could not retire.
-		ecfg.PatternBufEntries = sms.DefaultConfig().PatternBufEntries
+	var builder pv.Builder
+	if cfg.Prefetch.Enabled() {
+		builder, _ = pv.Lookup(cfg.Prefetch.Name) // Validate vouched for it
+		if cfg.Prefetch.Mode == pv.Virtualized {
+			var clamped bool
+			sys.proxyCfg, clamped = pv.ProxyConfigFor(cfg.Prefetch, cfg.Prefetch.Name)
+			if clamped {
+				sys.proxyClamped = true
+				log.Printf("sim: %s PVProxy clamped to %d MSHRs / %d evict-buffer entries to fit a %d-entry PVCache",
+					cfg.Prefetch.Label(), sys.proxyCfg.MSHRs, sys.proxyCfg.EvictBufEntries, sys.proxyCfg.CacheEntries)
+			}
+		}
 	}
 
-	var sharedTable *pvcore.Table[sms.PHTSet]
+	shared := map[string]any{}
 	for c := 0; c < n; c++ {
 		sys.gens[c] = trace.NewGenerator(cfg.Workload.Params, cfg.Seed, c)
 		sys.inflight[c] = make(map[memsys.Addr]uint64)
@@ -119,78 +117,43 @@ func NewSystem(cfg Config) *System {
 			L1Latency:   hcfg.L1Latency,
 			FrontEndMLP: 2,
 		})
-
-		if cfg.Prefetch.Kind == Stride || cfg.Prefetch.Kind == StrideVirtualized {
-			scfg := stride.DefaultConfig(cfg.Prefetch.Sets)
-			scfg.Ways = cfg.Prefetch.Ways
-			scfg.BlockBytes = hcfg.L1D.BlockBytes
-			sink := prefetchSink{sys: sys, core: c}
-			var eng *stride.Engine
-			if cfg.Prefetch.Kind == Stride {
-				eng = stride.NewDedicated(scfg, sink)
-			} else {
-				eng = stride.NewVirtualized(scfg, proxyConfig(cfg, c), PVStart(c),
-					hcfg.L2.BlockBytes, pvcore.HierarchyBackend{H: sys.Hier}, sink)
-			}
-			sys.strides[c] = eng
-			sys.prefetchers[c] = eng
-			c := c
-			sys.Hier.SetL1DEvictHook(c, func(addr memsys.Addr, _ memsys.EvictCause) {
-				eng.OnEvict(sys.clock[c], addr)
-			})
+		if builder == nil {
 			continue
 		}
 
-		var pht sms.PatternStore
-		switch cfg.Prefetch.Kind {
-		case None:
-			continue
-		case Infinite:
-			pht = sms.NewInfinitePHT()
-		case Dedicated:
-			pht = sms.NewDedicatedPHT(cfg.Prefetch.Sets, cfg.Prefetch.Ways)
-		case Virtualized:
-			vcfg := sms.VPHTConfig{
-				Geom:       geom,
-				Sets:       cfg.Prefetch.Sets,
-				Ways:       cfg.Prefetch.Ways,
-				Start:      PVStart(c),
-				BlockBytes: hcfg.L2.BlockBytes,
-				Proxy:      proxyConfig(cfg, c),
-			}
-			be := pvcore.HierarchyBackend{H: sys.Hier}
-			if cfg.Prefetch.SharedTable {
-				vcfg.Start = PVStart(0)
-				if sharedTable == nil {
-					v := sms.NewVirtualizedPHT(vcfg, be)
-					sharedTable = v.Table()
-					sys.vphts[c] = v
-				} else {
-					sys.vphts[c] = sms.NewVirtualizedPHTWithTable(vcfg, sharedTable, be)
-				}
-			} else {
-				sys.vphts[c] = sms.NewVirtualizedPHT(vcfg, be)
-			}
-			pht = sys.vphts[c]
+		env := pv.Env{
+			Core:         c,
+			Cores:        n,
+			Seed:         cfg.Seed,
+			Timing:       cfg.Timing,
+			L1BlockBytes: hcfg.L1D.BlockBytes,
+			L2BlockBytes: hcfg.L2.BlockBytes,
+			Start:        pv.TableStart(c),
+			Backend:      pvcore.HierarchyBackend{H: sys.Hier},
+			Sink:         prefetchSink{sys: sys, core: c},
+			Shared:       shared,
 		}
-
-		engine := sms.NewEngineConfig(ecfg, pht, prefetchSink{sys: sys, core: c})
-		sys.engines[c] = engine
-		sys.prefetchers[c] = engine
+		if cfg.Prefetch.SharedTable {
+			env.Start = pv.TableStart(0)
+		}
+		if cfg.Prefetch.Mode == pv.Virtualized {
+			env.Proxy, _ = pv.ProxyConfigFor(cfg.Prefetch, fmt.Sprintf("%s.%d", cfg.Prefetch.Name, c))
+		}
+		inst, err := builder.New(cfg.Prefetch, env)
+		if err != nil {
+			panic(err)
+		}
+		sys.preds[c] = inst
 		c := c
 		sys.Hier.SetL1DEvictHook(c, func(addr memsys.Addr, _ memsys.EvictCause) {
-			engine.OnEvict(sys.clock[c], addr)
+			inst.OnEvict(sys.clock[c], addr)
 		})
 	}
 
-	if cfg.Prefetch.OnChipOnly && cfg.Prefetch.Kind == Virtualized {
+	if cfg.Prefetch.OnChipOnly && cfg.Prefetch.Mode == pv.Virtualized && cfg.Prefetch.Enabled() {
 		sys.Hier.SetPVDropHook(func(addr memsys.Addr) {
-			for _, v := range sys.vphts {
-				if v == nil {
-					continue
-				}
-				if _, ok := v.Table().SetOf(addr); ok {
-					v.Table().Drop(addr)
+			for _, p := range sys.preds {
+				if v, ok := p.(pv.Virtualizable); ok && v.Drop(addr) {
 					return
 				}
 			}
@@ -199,14 +162,17 @@ func NewSystem(cfg Config) *System {
 	return sys
 }
 
-// Engine returns core c's SMS engine (nil without SMS prefetching).
-func (s *System) Engine(c int) *sms.Engine { return s.engines[c] }
+// Predictor returns core c's predictor instance (nil without one). Callers
+// that need family internals type-assert to the family's adapter, e.g.
+// *sms.Instance.
+func (s *System) Predictor(c int) pv.Instance { return s.preds[c] }
 
-// StrideEngine returns core c's stride engine (nil unless a stride kind).
-func (s *System) StrideEngine(c int) *stride.Engine { return s.strides[c] }
-
-// VPHT returns core c's virtualized PHT (nil unless virtualized).
-func (s *System) VPHT(c int) *sms.VirtualizedPHT { return s.vphts[c] }
+// EffectiveProxyConfig returns the PVProxy configuration actually built
+// (after clamping) and whether clamping changed the default shape; the
+// zero config for non-virtualized runs.
+func (s *System) EffectiveProxyConfig() (pvcore.ProxyConfig, bool) {
+	return s.proxyCfg, s.proxyClamped
+}
 
 // Core returns core c's timing model.
 func (s *System) Core(c int) *cpu.Core { return s.cores[c] }
@@ -214,12 +180,12 @@ func (s *System) Core(c int) *cpu.Core { return s.cores[c] }
 // Clock returns core c's current cycle.
 func (s *System) Clock(c int) uint64 { return s.clock[c] }
 
-// Step advances core c by one memory instruction: instruction fetch, demand
-// access, timing accounting and SMS training.
 // SetDetail toggles detailed timing accounting (RunSMARTS uses it to
 // fast-forward functionally between samples).
 func (s *System) SetDetail(on bool) { s.detail = on }
 
+// Step advances core c by one memory instruction: instruction fetch, demand
+// access, timing accounting and predictor training.
 func (s *System) Step(c int) {
 	acc := s.gens[c].Next()
 	now := s.clock[c]
@@ -246,7 +212,7 @@ func (s *System) Step(c int) {
 		}
 	}
 
-	if p := s.prefetchers[c]; p != nil {
+	if p := s.preds[c]; p != nil {
 		p.OnAccess(s.clock[c], acc.PC, acc.Addr)
 	}
 }
@@ -269,27 +235,14 @@ func (s *System) StepAll() {
 	}
 }
 
-// ResetStats zeroes every statistic (hierarchy, engines, PHTs, proxies)
-// in place while leaving microarchitectural state warm; Run calls it after
+// ResetStats zeroes every statistic (hierarchy, predictors, proxies) in
+// place while leaving microarchitectural state warm; Run calls it after
 // warmup, and it allocates nothing.
 func (s *System) ResetStats() {
 	s.Hier.ResetStats()
-	for c := range s.prefetchers {
-		if s.engines[c] != nil {
-			s.engines[c].Stats = sms.EngineStats{}
-			if d, ok := s.engines[c].PHT().(*sms.DedicatedPHT); ok {
-				d.Stats = sms.PHTStats{}
-			}
-		}
-		if s.strides[c] != nil {
-			s.strides[c].Stats = stride.Stats{}
-			if v := s.strides[c].Virtual(); v != nil {
-				v.Proxy().Stats = pvcore.ProxyStats{}
-			}
-		}
-		if s.vphts[c] != nil {
-			s.vphts[c].Stats = sms.PHTStats{}
-			s.vphts[c].Proxy().Stats = pvcore.ProxyStats{}
+	for _, p := range s.preds {
+		if p != nil {
+			p.ResetStats()
 		}
 	}
 }
@@ -302,32 +255,15 @@ func (s *System) ResetStats() {
 // freshly built one.
 func (s *System) Reset() {
 	s.Hier.Reset()
-	var lastTable *pvcore.Table[sms.PHTSet]
 	for c := 0; c < s.Hier.Config().Cores; c++ {
 		s.gens[c].Reset()
 		s.cores[c].Reset()
 		s.clock[c] = 0
 		clear(s.inflight[c])
-		if s.engines[c] != nil {
-			s.engines[c].Reset()
-			switch pht := s.engines[c].PHT().(type) {
-			case *sms.DedicatedPHT:
-				pht.Reset()
-			case *sms.InfinitePHT:
-				pht.Reset()
-			}
-		}
-		if s.strides[c] != nil {
-			s.strides[c].Reset()
-		}
-		if s.vphts[c] != nil {
-			s.vphts[c].Reset()
-			// Backing tables are reset once each; under §2.1 sharing every
-			// core points at the same table.
-			if t := s.vphts[c].Table(); t != lastTable {
-				t.Reset()
-				lastTable = t
-			}
+		if s.preds[c] != nil {
+			// Instance.Reset also resets the backing PVTable; under §2.1
+			// sharing every core resets the same table, which is idempotent.
+			s.preds[c].Reset()
 		}
 	}
 	s.detail = true

@@ -163,6 +163,9 @@ func (t *VirtualTable) name() string {
 // Proxy exposes the PVProxy for statistics.
 func (t *VirtualTable) Proxy() *core.Proxy[Set] { return t.proxy }
 
+// Table exposes the backing PVTable.
+func (t *VirtualTable) Table() *core.Table[Set] { return t.table }
+
 // TableRange is the reserved physical range.
 func (t *VirtualTable) TableRange() memsys.AddrRange { return t.table.Config().Range() }
 

@@ -1,0 +1,16 @@
+// Package predictors links every built-in predictor family into the pv
+// registry. Import it for side effects from binaries and tests that
+// resolve specs by name:
+//
+//	import _ "pvsim/pv/predictors"
+//
+// The experiments package reaches all three families through its own
+// imports already; this package exists so a main that only speaks
+// pv.Spec/sim.Config does not silently run with an empty registry.
+package predictors
+
+import (
+	_ "pvsim/internal/btb"    // registers "btb"
+	_ "pvsim/internal/sms"    // registers "sms"
+	_ "pvsim/internal/stride" // registers "stride"
+)
