@@ -6,6 +6,7 @@
 package pvsim_test
 
 import (
+	"context"
 	"testing"
 
 	"pvsim/internal/btb"
@@ -14,6 +15,7 @@ import (
 	"pvsim/internal/memsys"
 	"pvsim/internal/sim"
 	"pvsim/internal/sms"
+	"pvsim/internal/sweep"
 	"pvsim/internal/trace"
 	"pvsim/internal/workloads"
 )
@@ -138,6 +140,58 @@ func BenchmarkRunnerRerun(b *testing.B) {
 		res := r.Run(cfg)
 		if res.L1DReads() == 0 {
 			b.Fatal("empty result")
+		}
+	}
+}
+
+// sweepBenchGrid is the N-config grid the sweep benchmarks run: two specs
+// on one workload, so each iteration is three simulations (one shared
+// baseline + two jobs) at the same 20k/20k warmup/measure split as
+// BenchmarkRunnerRerun — making their allocs/op directly comparable
+// (pooled sweep ≈ 3 x RunnerRerun + engine overhead).
+func sweepBenchGrid() sweep.Grid {
+	return sweep.Grid{
+		Specs:     []string{"16-11a", "PV-8"},
+		Workloads: []string{"Apache"},
+		Seeds:     []uint64{42},
+		Scale:     benchScale,
+	}
+}
+
+// BenchmarkSweepGridCold runs the grid on a fresh engine every iteration:
+// every system is rebuilt from scratch (the one-shot `pvsim sweep` cost).
+func BenchmarkSweepGridCold(b *testing.B) {
+	g := sweepBenchGrid()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.New(sweep.Options{Parallel: 1}).Run(context.Background(), g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatalf("%d rows", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkSweepGridPooled re-runs the grid on one engine, Reset between
+// iterations: results are recomputed but every system comes from the keyed
+// pool and is reset in place — the serve path's steady state, and the
+// allocation-free re-execution the acceptance bar measures.
+func BenchmarkSweepGridPooled(b *testing.B) {
+	g := sweepBenchGrid()
+	e := sweep.New(sweep.Options{Parallel: 1})
+	if _, err := e.Run(context.Background(), g, nil); err != nil {
+		b.Fatal(err) // warm the pool before measuring
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		res, err := e.Run(context.Background(), g, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatalf("%d rows", len(res.Rows))
 		}
 	}
 }

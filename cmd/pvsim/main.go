@@ -1,24 +1,31 @@
-// Command pvsim regenerates the paper's tables and figures.
+// Command pvsim regenerates the paper's tables and figures, and runs
+// parameter-grid sweeps — one-shot or as an HTTP service.
 //
 // Usage:
 //
 //	pvsim [flags] list                 # show experiments, predictors, named configs
 //	pvsim [flags] fig4 [fig6 ...]      # run specific experiments
 //	pvsim [flags] all                  # run everything, in paper order
+//	pvsim sweep [sweep flags]          # run a spec x workload x pvcache x seed grid
+//	pvsim serve [serve flags]          # sweep service: submit/poll/fetch over HTTP
 //
-// Flags:
+// Flags (experiments):
 //
 //	-scale f    access-count multiplier (1.0 = default scale)
 //	-seed n     workload generator seed
-//	-format s   text | md | csv
+//	-format s   text | md | csv | json
 //	-o file     write output to file instead of stdout
 //	-v          log per-run progress to stderr
 //	-p n        max parallel simulations (default GOMAXPROCS)
 //
+// `pvsim sweep -h` and `pvsim serve -h` describe the subcommand flags; the
+// sweep grid comes from -specs/-workloads/-pvcache/-seeds flags or a -grid
+// JSON file, and sweep output at any -p is byte-identical to -p 1.
+//
 // list enumerates, besides the experiments, every predictor family in the
 // pv registry and every registered named configuration — the same
 // registry sim.Config resolves specs against, so what list prints is
-// exactly what a config can name.
+// exactly what a config (or a sweep grid) can name.
 package main
 
 import (
@@ -43,10 +50,20 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	// Subcommands own their flags; dispatch before the experiment flags.
+	if len(args) > 0 {
+		switch args[0] {
+		case "sweep":
+			return runSweep(args[1:], stdout)
+		case "serve":
+			return runServe(args[1:], stdout)
+		}
+	}
+
 	fs := flag.NewFlagSet("pvsim", flag.ContinueOnError)
 	scale := fs.Float64("scale", 1.0, "access-count multiplier")
 	seed := fs.Uint64("seed", 42, "workload generator seed")
-	format := fs.String("format", "text", "output format: text|md|csv")
+	format := fs.String("format", "text", "output format: text|md|csv|json")
 	outFile := fs.String("o", "", "output file (default stdout)")
 	verbose := fs.Bool("v", false, "log per-run progress")
 	parallel := fs.Int("p", 0, "max parallel simulations")
@@ -94,6 +111,11 @@ func run(args []string, stdout io.Writer) error {
 			for _, e := range experiments.All() {
 				ids = append(ids, e.ID)
 			}
+		case "sweep", "serve":
+			// Reached via `pvsim -p 4 sweep ...`: flag parsing stopped at the
+			// subcommand word, so the leading flags never reached it. Point
+			// at the right invocation instead of "unknown experiment".
+			return fmt.Errorf("%q is a subcommand and must come first: use 'pvsim %s [flags]' (its flags go after it)", a, a)
 		default:
 			ids = append(ids, a)
 		}
@@ -142,7 +164,14 @@ func emit(w io.Writer, doc *report.Doc, format string) error {
 			}
 		}
 		return nil
+	case "json":
+		b, err := doc.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
 	default:
-		return fmt.Errorf("unknown format %q (want text|md|csv)", format)
+		return fmt.Errorf("unknown format %q (want text|md|csv|json)", format)
 	}
 }

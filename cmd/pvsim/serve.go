@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"pvsim/internal/sweep"
+)
+
+// runServe implements `pvsim serve`: the sweep engine behind an HTTP API.
+// Submit a grid, poll its status, fetch its result; identical grids are
+// served from the result cache, and the keyed system pool keeps repeated
+// configurations rebuild-free across sweeps.
+func runServe(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pvsim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8321", "listen address")
+	parallel := fs.Int("p", 0, "max parallel simulations")
+	maxSystems := fs.Int("pool", 0, "max pooled systems (0 = default, negative = unbounded)")
+	verbose := fs.Bool("v", false, "log per-run progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve: unexpected arguments %v", fs.Args())
+	}
+
+	opts := sweep.Options{Parallel: *parallel, MaxSystems: *maxSystems}
+	if *verbose {
+		opts.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	srv := sweep.NewServer(opts)
+	fmt.Fprintf(stdout, "pvsim serve: listening on http://%s\n", *addr)
+	fmt.Fprintf(stdout, "  POST /sweeps              submit a grid (JSON: specs, workloads, pvcache, seeds, scale, timing)\n")
+	fmt.Fprintf(stdout, "  GET  /sweeps              list sweeps\n")
+	fmt.Fprintf(stdout, "  GET  /sweeps/{id}         poll status\n")
+	fmt.Fprintf(stdout, "  GET  /sweeps/{id}/result  fetch result (?format=json|text|md|csv)\n")
+	return http.ListenAndServe(*addr, srv)
+}

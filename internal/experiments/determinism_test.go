@@ -93,3 +93,22 @@ func TestRunnerSeedSensitivity(t *testing.T) {
 		t.Fatal("seeds 42 and 43 produced identical fig4 text; generator seeding is broken")
 	}
 }
+
+// TestSeedZeroIsARealSeed is the regression test for the Options
+// normalization bug that silently rewrote Seed 0 to 42: seed 0 must run as
+// itself (different output from seed 42) and must stay deterministic.
+func TestSeedZeroIsARealSeed(t *testing.T) {
+	e, err := ByID("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := e.Run(NewRunner(Options{Scale: determinismScale, Seed: 0})).Text()
+	def := e.Run(NewRunner(Options{Scale: determinismScale, Seed: 42})).Text()
+	if zero == def {
+		t.Fatal("seed 0 rendered identically to seed 42; the 0->42 rewrite is back")
+	}
+	again := e.Run(NewRunner(Options{Scale: determinismScale, Seed: 0})).Text()
+	if zero != again {
+		t.Fatal("seed 0 is not deterministic across runners")
+	}
+}

@@ -16,7 +16,10 @@ type Options struct {
 	// Scale multiplies the per-core access counts (1.0 = DefaultScale
 	// measured accesses). Benches use small scales; final reports 1.0+.
 	Scale float64
-	// Seed feeds the workload generators.
+	// Seed feeds the workload generators. Every value — including 0 — is a
+	// real seed, used as given; use DefaultOptions for the evaluation's
+	// standard seed 42. (Earlier versions silently rewrote 0 to 42, which
+	// made seed 0 unrunnable; TestSeedZeroIsARealSeed pins the fix.)
 	Seed uint64
 	// Parallel caps concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
@@ -27,6 +30,16 @@ type Options struct {
 	// systems hold their cache arrays (megabytes each), which a one-shot
 	// pvsim invocation has no reason to keep.
 	KeepSystems bool
+	// MaxSystems bounds how many built systems a KeepSystems runner retains
+	// (each holds its cache arrays — megabytes). When the bound is exceeded
+	// the least-recently-used system is dropped, keyed by config signature.
+	// 0 means unbounded, which is fine for the fixed experiment set but not
+	// for an open-ended sweep server.
+	MaxSystems int
+	// MaxResults bounds the result cache the same way (results are small —
+	// kilobytes of statistics — but an open-ended server accumulates one
+	// per distinct configuration forever). 0 means unbounded.
+	MaxResults int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...interface{})
 }
@@ -39,9 +52,6 @@ func DefaultOptions() Options {
 func (o Options) normalized() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1.0
-	}
-	if o.Seed == 0 {
-		o.Seed = 42
 	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
@@ -57,9 +67,47 @@ type Runner struct {
 	opts Options
 
 	mu      sync.Mutex
-	cache   map[string]sim.Result
-	systems map[string]*sim.System // retained built systems (KeepSystems)
+	cache   map[string]*cachedResult
+	systems map[string]*retainedSystem // retained built systems (KeepSystems)
+	useTick uint64                     // recency clock for LRU eviction
 	sem     chan struct{}
+}
+
+// retainedSystem is one pooled system plus the recency stamp MaxSystems
+// eviction orders by.
+type retainedSystem struct {
+	sys     *sim.System
+	lastUse uint64
+}
+
+func (e *retainedSystem) use() uint64 { return e.lastUse }
+
+// cachedResult is one cached result plus the recency stamp MaxResults
+// eviction orders by.
+type cachedResult struct {
+	res     sim.Result
+	lastUse uint64
+}
+
+func (e *cachedResult) use() uint64 { return e.lastUse }
+
+// evictOldest drops least-recently-used entries until m fits the bound
+// (max <= 0 means unbounded). Both runner caches — systems and results —
+// evict through it; the caller holds r.mu.
+func evictOldest[E interface{ use() uint64 }](m map[string]E, max int) {
+	if max <= 0 {
+		return
+	}
+	for len(m) > max {
+		oldestKey := ""
+		oldest := uint64(0)
+		for k, e := range m {
+			if oldestKey == "" || e.use() < oldest {
+				oldestKey, oldest = k, e.use()
+			}
+		}
+		delete(m, oldestKey)
+	}
 }
 
 // NewRunner builds a runner.
@@ -67,8 +115,8 @@ func NewRunner(opts Options) *Runner {
 	o := opts.normalized()
 	return &Runner{
 		opts:    o,
-		cache:   make(map[string]sim.Result),
-		systems: make(map[string]*sim.System),
+		cache:   make(map[string]*cachedResult),
+		systems: make(map[string]*retainedSystem),
 		sem:     make(chan struct{}, o.Parallel),
 	}
 }
@@ -86,19 +134,28 @@ func (r *Runner) Reset() {
 // Options returns the normalized options.
 func (r *Runner) Options() Options { return r.opts }
 
-// baseConfig builds the standard functional run of a workload at the
-// runner's scale.
-func (r *Runner) baseConfig(w workloads.Workload) sim.Config {
+// ConfigFor builds the standard functional run of a workload at the given
+// scale and seed: the measured access count is scale x sim.DefaultScale
+// (floored at 1000), and warmup lasts as long as measurement, mirroring the
+// paper's 1B+1B cycle split — predictor tables must be warm before coverage
+// is representative. Runner.baseConfig and the sweep engine both build
+// their configs through it, so a sweep job and an experiment run of the
+// same (workload, scale, seed) are the same simulation.
+func ConfigFor(w workloads.Workload, scale float64, seed uint64) sim.Config {
 	cfg := sim.Default(w)
-	cfg.Seed = r.opts.Seed
-	cfg.Measure = int(float64(sim.DefaultScale) * r.opts.Scale)
+	cfg.Seed = seed
+	cfg.Measure = int(float64(sim.DefaultScale) * scale)
 	if cfg.Measure < 1000 {
 		cfg.Measure = 1000
 	}
-	// Warm as long as we measure, mirroring the paper's 1B+1B cycle split:
-	// predictor tables must be warm before coverage is representative.
 	cfg.Warmup = cfg.Measure
 	return cfg
+}
+
+// baseConfig builds the standard functional run of a workload at the
+// runner's scale.
+func (r *Runner) baseConfig(w workloads.Workload) sim.Config {
+	return ConfigFor(w, r.opts.Scale, r.opts.Seed)
 }
 
 // timingConfig builds the standard timing run (SMARTS-like windows).
@@ -109,60 +166,70 @@ func (r *Runner) timingConfig(w workloads.Workload) sim.Config {
 	return cfg
 }
 
-func cacheKey(cfg sim.Config) string {
-	// Labels are family-owned and compress geometry; the raw spec fields
-	// disambiguate families whose labels overlap and carry the params map.
-	return fmt.Sprintf("%s|%s|pred=%s/%d/%dx%d/%d/%v|seed=%d|w=%d|m=%d|t=%v|win=%d|l2=%d/%d/%d|mem=%d|oco=%v|shared=%v|cores=%d|prio=%v|banks=%d",
-		cfg.Workload.Name, cfg.Prefetch.Label(),
-		cfg.Prefetch.Name, cfg.Prefetch.Mode, cfg.Prefetch.Sets, cfg.Prefetch.Ways,
-		cfg.Prefetch.PVCacheEntries, cfg.Prefetch.Params,
-		cfg.Seed, cfg.Warmup, cfg.Measure,
-		cfg.Timing, cfg.Windows,
-		cfg.Hier.L2.SizeBytes, cfg.Hier.L2.TagLatency, cfg.Hier.L2.DataLatency,
-		cfg.Hier.MemLatency, cfg.Prefetch.OnChipOnly, cfg.Prefetch.SharedTable,
-		cfg.Hier.Cores, cfg.Hier.PrioritizeAppOverPV, cfg.Hier.L2Banks)
-}
+func cacheKey(cfg sim.Config) string { return cfg.Signature() }
 
 // Run simulates cfg, returning a cached result when an identical
 // configuration already ran.
 func (r *Runner) Run(cfg sim.Config) sim.Result {
 	key := cacheKey(cfg)
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	if res, ok := r.cachedRun(key); ok {
 		return res
 	}
-	r.mu.Unlock()
 
 	r.sem <- struct{}{}
 	defer func() { <-r.sem }()
 
 	// Double-check after acquiring a slot.
-	r.mu.Lock()
-	if res, ok := r.cache[key]; ok {
-		r.mu.Unlock()
+	if res, ok := r.cachedRun(key); ok {
 		return res
 	}
-	r.mu.Unlock()
 
 	r.opts.Log("run %s", key)
 	res := r.simulate(key, cfg)
 	r.mu.Lock()
-	r.cache[key] = res
+	r.useTick++
+	r.cache[key] = &cachedResult{res: res, lastUse: r.useTick}
+	evictOldest(r.cache, r.opts.MaxResults)
 	r.mu.Unlock()
 	return res
 }
 
+// cachedRun looks a result up, refreshing its recency on a hit.
+func (r *Runner) cachedRun(key string) (sim.Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.cache[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	r.useTick++
+	e.lastUse = r.useTick
+	return e.res, true
+}
+
+// CachedResults reports the result cache's occupancy (bounded by
+// MaxResults).
+func (r *Runner) CachedResults() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.cache)
+}
+
 // simulate executes cfg, reusing (and retaining) a built system for the key
 // when KeepSystems is on. A retained system is reset in place before the
-// run, which produces bit-identical results to a fresh build.
+// run, which produces bit-identical results to a fresh build. When
+// MaxSystems bounds the pool, putting a system back evicts the
+// least-recently-used entry beyond the bound.
 func (r *Runner) simulate(key string, cfg sim.Config) sim.Result {
 	if !r.opts.KeepSystems {
 		return sim.Run(cfg)
 	}
 	r.mu.Lock()
-	sys := r.systems[key]
-	delete(r.systems, key) // claim: concurrent runs of the same key build fresh
+	var sys *sim.System
+	if e := r.systems[key]; e != nil {
+		sys = e.sys
+		delete(r.systems, key) // claim: concurrent runs of the same key build fresh
+	}
 	r.mu.Unlock()
 	if sys == nil {
 		sys = sim.NewSystem(cfg)
@@ -171,9 +238,20 @@ func (r *Runner) simulate(key string, cfg sim.Config) sim.Result {
 	}
 	res := sys.Run()
 	r.mu.Lock()
-	r.systems[key] = sys
+	r.useTick++
+	r.systems[key] = &retainedSystem{sys: sys, lastUse: r.useTick}
+	evictOldest(r.systems, r.opts.MaxSystems)
 	r.mu.Unlock()
 	return res
+}
+
+// RetainedSystems reports how many built systems the runner currently
+// retains (KeepSystems pool occupancy; tests assert the MaxSystems bound
+// through it).
+func (r *Runner) RetainedSystems() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.systems)
 }
 
 // RunAll simulates configurations concurrently, preserving order.

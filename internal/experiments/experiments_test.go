@@ -34,8 +34,16 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestOptionsNormalization(t *testing.T) {
 	o := Options{}.normalized()
-	if o.Scale != 1.0 || o.Seed != 42 || o.Parallel <= 0 || o.Log == nil {
+	if o.Scale != 1.0 || o.Parallel <= 0 || o.Log == nil {
 		t.Errorf("normalized = %+v", o)
+	}
+	// Seed passes through untouched: 0 is a real seed, not "use the
+	// default" (DefaultOptions carries the evaluation's standard 42).
+	if o.Seed != 0 {
+		t.Errorf("normalized rewrote Seed 0 to %d", o.Seed)
+	}
+	if DefaultOptions().Seed != 42 {
+		t.Errorf("DefaultOptions seed = %d, want 42", DefaultOptions().Seed)
 	}
 }
 
@@ -53,6 +61,33 @@ func TestRunnerCaching(t *testing.T) {
 	r.Run(cfg)
 	if runs.Load() != 2 {
 		t.Errorf("distinct config not simulated: %d", runs.Load())
+	}
+}
+
+// TestRunnerResultCacheBounded pins the MaxResults LRU: more distinct
+// configurations than the bound never leave more cached results behind.
+func TestRunnerResultCacheBounded(t *testing.T) {
+	r := NewRunner(Options{Scale: 0.0025, Seed: 42, MaxResults: 2})
+	for _, name := range []string{"Apache", "Qry1", "Zeus"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run(r.baseConfig(w))
+	}
+	if got := r.CachedResults(); got > 2 {
+		t.Errorf("result cache holds %d entries, bound is 2", got)
+	}
+	// A bounded cache still caches: re-running the most recent config must
+	// not simulate again.
+	var runs atomic.Int32
+	r2 := NewRunner(Options{Scale: 0.0025, Seed: 42, MaxResults: 2,
+		Log: func(string, ...interface{}) { runs.Add(1) }})
+	w, _ := workloads.ByName("Apache")
+	r2.Run(r2.baseConfig(w))
+	r2.Run(r2.baseConfig(w))
+	if runs.Load() != 1 {
+		t.Errorf("bounded cache simulated %d times for one config, want 1", runs.Load())
 	}
 }
 

@@ -1,0 +1,45 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON renders the document as indented, deterministic JSON: the same Doc
+// always yields the same bytes (encoding/json emits struct fields in
+// declaration order and escapes consistently), so machine-readable sweep
+// output can be compared byte-for-byte across runs — the same guarantee
+// Text gives the human-readable form. For valid-UTF-8 content (everything
+// the simulator renders) the encoding round-trips: DocFromJSON on the
+// output reconstructs a Doc that encodes to the identical bytes
+// (FuzzReportJSON pins this).
+func (d *Doc) JSON() ([]byte, error) { return EncodeJSON(d) }
+
+// EncodeJSON is the one deterministic JSON encoder every machine-readable
+// surface shares — report documents, sweep results, the serve API — so
+// "deterministic JSON" means exactly one thing: two-space indent, no HTML
+// escaping, struct fields in declaration order, trailing newline.
+func EncodeJSON(v interface{}) ([]byte, error) {
+	var b bytes.Buffer
+	enc := json.NewEncoder(&b)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DocFromJSON parses a document previously rendered with JSON. Unknown
+// fields are rejected so a mangled or foreign payload errors instead of
+// silently decoding to an empty Doc.
+func DocFromJSON(data []byte) (*Doc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var d Doc
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("report: decoding doc JSON: %w", err)
+	}
+	return &d, nil
+}

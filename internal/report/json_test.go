@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleDoc() *Doc {
+	t := NewTable("Workload", "Covered", "Notes")
+	t.AddRow("Apache", "43.2%", "a,b \"quoted\"")
+	t.AddRowf("Zeus", 0.1234567, 9)
+	d := &Doc{ID: "fig4", Title: "SMS potential"}
+	d.Add(Section{Heading: "sweep", Body: "prose\nwith newline", Table: t})
+	d.Add(Section{Body: "table-less section"})
+	return d
+}
+
+func TestDocJSONRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	b1, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DocFromJSON(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := d2.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("JSON round trip not byte-identical:\n--- first ---\n%s\n--- second ---\n%s", b1, b2)
+	}
+	if d2.Text() != d.Text() {
+		t.Fatal("decoded doc renders different text")
+	}
+}
+
+func TestDocJSONDeterministic(t *testing.T) {
+	a, err := sampleDoc().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sampleDoc().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of the same doc differ")
+	}
+}
+
+func TestDocFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := DocFromJSON([]byte(`{"NotADoc": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DocFromJSON([]byte(`{`)); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+}
+
+// FuzzReportJSON pins the encoder's round-trip guarantee on arbitrary
+// content: whatever strings end up in a Doc, encoding → decoding →
+// re-encoding must reproduce the first encoding byte-for-byte (the property
+// the sweep server's result cache and the parallel-determinism tests lean
+// on). The guarantee covers valid UTF-8 — everything the simulator ever
+// renders — because encoding/json is asymmetric on invalid bytes (an
+// invalid byte encodes as the � escape; the decoded replacement rune
+// re-encodes raw), so fuzzed inputs are coerced the way any real content
+// already is.
+func FuzzReportJSON(f *testing.F) {
+	f.Add("fig4", "Title", "heading", "body\nline", "h1", "h2", "cell,with\"csv", "cell2")
+	f.Add("", "", "", "", "", "", "", "")
+	f.Add("space", "§4.6 — PVProxy on-chip space", "per-core", "889 473 68", "Component", "Bits", "13.9KB", "±")
+	f.Fuzz(func(t *testing.T, id, title, heading, body, h1, h2, c1, c2 string) {
+		for _, s := range []*string{&id, &title, &heading, &body, &h1, &h2, &c1, &c2} {
+			*s = strings.ToValidUTF8(*s, "�")
+		}
+		tbl := NewTable(h1, h2)
+		tbl.AddRow(c1, c2)
+		tbl.AddRow(c2) // short row: padded with empty cells
+		d := &Doc{ID: id, Title: title}
+		d.Add(Section{Heading: heading, Body: body, Table: tbl})
+		d.Add(Section{Body: body})
+
+		b1, err := d.JSON()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		d2, err := DocFromJSON(b1)
+		if err != nil {
+			t.Fatalf("decode of our own encoding failed: %v\n%s", err, b1)
+		}
+		b2, err := d2.JSON()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not byte-identical:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

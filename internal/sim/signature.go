@@ -1,0 +1,34 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Signature renders every behaviour-affecting field of the configuration
+// into one canonical string: two configs simulate identically if and only
+// if their signatures match. It is the key under which experiments.Runner
+// caches results and retains built systems, and the key the sweep engine's
+// system pool evicts by. Labels are family-owned and compress geometry;
+// the raw spec fields disambiguate families whose labels overlap and carry
+// the params map.
+func (c Config) Signature() string {
+	return fmt.Sprintf("%s|%s|pred=%s/%d/%dx%d/%d/%v|seed=%d|w=%d|m=%d|t=%v|win=%d|l2=%d/%d/%d|mem=%d|oco=%v|shared=%v|cores=%d|prio=%v|banks=%d",
+		c.Workload.Name, c.Prefetch.Label(),
+		c.Prefetch.Name, c.Prefetch.Mode, c.Prefetch.Sets, c.Prefetch.Ways,
+		c.Prefetch.PVCacheEntries, c.Prefetch.Params,
+		c.Seed, c.Warmup, c.Measure,
+		c.Timing, c.Windows,
+		c.Hier.L2.SizeBytes, c.Hier.L2.TagLatency, c.Hier.L2.DataLatency,
+		c.Hier.MemLatency, c.Prefetch.OnChipOnly, c.Prefetch.SharedTable,
+		c.Hier.Cores, c.Hier.PrioritizeAppOverPV, c.Hier.L2Banks)
+}
+
+// Hash is a short stable digest of Signature, suitable for machine-readable
+// output (sweep result rows) and log lines where the full signature is too
+// long.
+func (c Config) Hash() string {
+	sum := sha256.Sum256([]byte(c.Signature()))
+	return hex.EncodeToString(sum[:8])
+}

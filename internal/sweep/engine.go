@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+
+	"pvsim/internal/experiments"
+	"pvsim/internal/sim"
+)
+
+// DefaultMaxSystems bounds the keyed system pool when Options.MaxSystems is
+// zero: eight retained systems is roughly 100MB of cache arrays, enough to
+// keep a repeated small grid allocation-free without letting an open-ended
+// sweep server grow without bound.
+const DefaultMaxSystems = 8
+
+// DefaultMaxResults bounds the result cache when Options.MaxResults is
+// zero: results are kilobytes of statistics each, so a few thousand keep a
+// long-lived server's memory flat while still deduplicating configurations
+// across overlapping grids.
+const DefaultMaxResults = 4096
+
+// Options tune an Engine.
+type Options struct {
+	// Parallel caps concurrent simulations (0 = GOMAXPROCS). Output is
+	// byte-identical at every value.
+	Parallel int
+	// MaxSystems bounds the keyed system pool (config-signature LRU);
+	// 0 means DefaultMaxSystems, negative means unbounded.
+	MaxSystems int
+	// MaxResults bounds the cached-result map the same way; 0 means
+	// DefaultMaxResults, negative means unbounded.
+	MaxResults int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...interface{})
+}
+
+// Progress is called after each simulation completes, with the number of
+// finished simulations (baseline runs included) and the total. Calls are
+// serialized and done increases by one per call, but the callback runs on
+// worker goroutines under the engine's progress lock: keep it cheap and
+// never call back into the engine from it.
+type Progress func(done, total int)
+
+// Engine runs sweeps. It is safe for concurrent use (the serve API runs
+// sweeps concurrently on one engine) and keeps its system pool across runs,
+// so re-running a grid after Reset re-executes by resetting retained
+// systems in place instead of rebuilding them.
+type Engine struct {
+	opts   Options
+	runner *experiments.Runner
+}
+
+// New builds an engine.
+func New(opts Options) *Engine {
+	return &Engine{
+		opts: opts,
+		runner: experiments.NewRunner(experiments.Options{
+			Scale:       1.0, // unused: the engine builds every config itself
+			Parallel:    opts.Parallel,
+			KeepSystems: true,
+			MaxSystems:  bound(opts.MaxSystems, DefaultMaxSystems),
+			MaxResults:  bound(opts.MaxResults, DefaultMaxResults),
+			Log:         opts.Log,
+		}),
+	}
+}
+
+// bound maps the engine's option convention (0 = default, negative =
+// unbounded) onto the runner's (0 = unbounded).
+func bound(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// Reset forgets every cached result while keeping the pooled systems, so
+// the next Run of the same grid re-simulates rebuild-free (the benchmarked
+// pooled re-run path).
+func (e *Engine) Reset() { e.runner.Reset() }
+
+// RetainedSystems reports the system pool's occupancy (bounded by
+// MaxSystems).
+func (e *Engine) RetainedSystems() int { return e.runner.RetainedSystems() }
+
+// Run expands the grid and executes it. Results are merged in job
+// expansion order regardless of completion order, so the returned Result —
+// and everything rendered from it — is byte-identical at any Parallel.
+// Cancelling ctx stops dispatching new jobs; jobs already simulating finish
+// (a simulation step has no preemption point) and Run returns ctx.Err().
+// progress may be nil.
+func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, error) {
+	g = g.normalized()
+	jobs, err := g.Jobs()
+	if err != nil {
+		return nil, err
+	}
+
+	// Baselines: one matched no-prefetcher run per (seed, workload) cell,
+	// run as a wave before the grid jobs so concurrent jobs of one cell
+	// never duplicate the baseline simulation.
+	baseCfgs, baseIdx := g.baselineCells(jobs)
+
+	total := len(baseCfgs) + len(jobs)
+	var mu sync.Mutex
+	done := 0
+	note := func() {
+		if progress == nil {
+			return
+		}
+		// The callback runs under the lock so calls are serialized and done
+		// is strictly increasing at the observer.
+		mu.Lock()
+		done++
+		progress(done, total)
+		mu.Unlock()
+	}
+
+	baseRes := make([]sim.Result, len(baseCfgs))
+	if err := e.wave(ctx, baseCfgs, baseRes, note); err != nil {
+		return nil, err
+	}
+	jobCfgs := make([]sim.Config, len(jobs))
+	for i, j := range jobs {
+		jobCfgs[i] = j.Config
+	}
+	jobRes := make([]sim.Result, len(jobs))
+	if err := e.wave(ctx, jobCfgs, jobRes, note); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Grid: g, Hash: g.Hash(), Jobs: len(jobs), Rows: make([]Row, len(jobs))}
+	for i, j := range jobs {
+		base := baseRes[baseIdx[baselineCell{j.Seed, j.Workload.Name}]]
+		res.Rows[i] = rowFor(j, base, jobRes[i])
+	}
+	return res, nil
+}
+
+// wave runs cfgs over the bounded worker pool, writing each result to its
+// pre-assigned slot. Parallelism is bounded twice — by the worker count
+// here and by the runner's semaphore — with the same value, so the worker
+// pool is the effective bound.
+func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, note func()) error {
+	if len(cfgs) == 0 {
+		return ctx.Err()
+	}
+	workers := e.runner.Options().Parallel
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = e.runner.Run(cfgs[i])
+				note()
+			}
+		}()
+	}
+feed:
+	for i := range cfgs {
+		select {
+		case <-ctx.Done():
+			break feed
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return ctx.Err()
+}

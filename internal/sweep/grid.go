@@ -1,0 +1,227 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pvsim/internal/experiments"
+	"pvsim/internal/sim"
+	"pvsim/internal/workloads"
+	"pvsim/pv"
+)
+
+// Grid declares a parameter sweep: the cross product of named predictor
+// specs, workloads, PVCache sizes and seeds, at one scale. It is plain
+// data — JSON-encodable for `pvsim sweep -grid file.json` and the serve
+// API — and expansion order is fixed (seed-major, then workload, then spec,
+// then PVCache size), so a grid is also the order of its output rows.
+type Grid struct {
+	// Specs names registered predictor configurations (`pvsim list` shows
+	// them: "1K-11a", "PV-8", "stride-PV-8", ... and "none" for the
+	// baseline). Required.
+	Specs []string `json:"specs"`
+	// Workloads names Table 2 workloads; empty means all eight.
+	Workloads []string `json:"workloads,omitempty"`
+	// PVCache overrides the PVCache entry count of *virtualized* specs,
+	// one job per value; dedicated/infinite specs ignore it. Empty keeps
+	// each spec's own size.
+	PVCache []int `json:"pvcache,omitempty"`
+	// Seeds are the workload-generator seeds to sweep; empty means {42},
+	// the evaluation's standard seed. Seed 0 is a real seed.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Scale multiplies the per-core access counts exactly like
+	// experiments.Options.Scale; 0 means 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// Timing enables the IPC model (20 sampling windows, like the paper's
+	// timing figures); rows then carry IPC and speedup-vs-baseline.
+	Timing bool `json:"timing,omitempty"`
+}
+
+// Job is one expanded grid point: the exact sim.Config it runs plus the
+// coordinates it came from. Index is the job's position in expansion order
+// and the row slot its result is merged into.
+type Job struct {
+	Index    int
+	Seed     uint64
+	Workload workloads.Workload
+	SpecName string
+	PVCache  int // effective PVCache entries; 0 when not virtualized
+	Config   sim.Config
+}
+
+// DecodeGrid parses a grid from JSON. Unknown fields are rejected, so a
+// typo in a grid file or API request errors instead of silently meaning
+// "use the default". `pvsim sweep -grid` and the serve API both decode
+// through it: the two accept exactly the same syntax.
+func DecodeGrid(r io.Reader) (Grid, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("sweep: decoding grid: %w", err)
+	}
+	return g, nil
+}
+
+// normalized fills the grid's defaults without touching the receiver.
+func (g Grid) normalized() Grid {
+	if len(g.Workloads) == 0 {
+		g.Workloads = workloads.Names()
+	}
+	if len(g.Seeds) == 0 {
+		g.Seeds = []uint64{42}
+	}
+	if g.Scale <= 0 {
+		g.Scale = 1.0
+	}
+	return g
+}
+
+// Validate checks the grid against the pv and workload registries so a
+// typo errors with the available names before any simulation starts.
+func (g Grid) Validate() error {
+	g = g.normalized()
+	if len(g.Specs) == 0 {
+		return fmt.Errorf("sweep: grid has no specs (try names from 'pvsim list', e.g. \"PV-8\")")
+	}
+	for _, name := range g.Specs {
+		if _, err := pv.SpecByName(name); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, name := range g.Workloads {
+		if _, err := workloads.ByName(name); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, e := range g.PVCache {
+		if e <= 0 {
+			return fmt.Errorf("sweep: pvcache entry count %d (want > 0)", e)
+		}
+	}
+	return nil
+}
+
+// Hash is the grid's identity: a short digest of its normalized canonical
+// JSON. The serve result cache is keyed by it, so resubmitting the same
+// grid — including a reordered-but-equal one only if the order matches,
+// since order is part of the output contract — reuses the finished sweep.
+func (g Grid) Hash() string {
+	b, err := json.Marshal(g.normalized())
+	if err != nil {
+		// Grid is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("sweep: marshaling grid: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Jobs expands the grid into jobs in deterministic order. The grid must
+// Validate.
+func (g Grid) Jobs() ([]Job, error) {
+	g = g.normalized()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	var jobs []Job
+	for _, seed := range g.Seeds {
+		for _, wname := range g.Workloads {
+			w, err := workloads.ByName(wname)
+			if err != nil {
+				return nil, err
+			}
+			for _, sname := range g.Specs {
+				spec, err := pv.SpecByName(sname)
+				if err != nil {
+					return nil, err
+				}
+				for _, variant := range pvcacheVariants(spec, g.PVCache) {
+					// Jobs are the cell's baseline config plus a prefetcher,
+					// so job and matched baseline can never drift apart in
+					// scale, timing or windowing.
+					cfg := g.baselineConfig(w, seed)
+					cfg.Prefetch = variant
+					if err := cfg.Validate(); err != nil {
+						return nil, fmt.Errorf("sweep: job (seed=%d %s %s): %w", seed, wname, sname, err)
+					}
+					jobs = append(jobs, Job{
+						Index:    len(jobs),
+						Seed:     seed,
+						Workload: w,
+						SpecName: sname,
+						PVCache:  variant.PVCacheEntries,
+						Config:   cfg,
+					})
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// pvcacheVariants applies the grid's PVCache dimension to one spec: one
+// variant per entry count for virtualized specs, the spec itself otherwise.
+func pvcacheVariants(spec pv.Spec, entries []int) []pv.Spec {
+	if spec.Mode != pv.Virtualized || !spec.Enabled() || len(entries) == 0 {
+		return []pv.Spec{spec}
+	}
+	out := make([]pv.Spec, len(entries))
+	for i, e := range entries {
+		v := spec
+		v.PVCacheEntries = e
+		out[i] = v
+	}
+	return out
+}
+
+// baselineConfig builds one (workload, seed) cell's matched no-prefetcher
+// run: the config coverage is measured against, and — with Prefetch set —
+// the config every job of the cell runs. Keeping both behind this one
+// function is what makes them matched.
+func (g Grid) baselineConfig(w workloads.Workload, seed uint64) sim.Config {
+	g = g.normalized()
+	cfg := experiments.ConfigFor(w, g.Scale, seed)
+	if g.Timing {
+		cfg.Timing = true
+		cfg.Windows = 20
+	}
+	return cfg
+}
+
+// baselineCell identifies one (seed, workload) pair needing a baseline run.
+type baselineCell struct {
+	seed uint64
+	w    string
+}
+
+// baselineCells returns the matched baseline configs for jobs, in first-use
+// order, and the index of each job's baseline. Both the engine (to schedule
+// the baseline wave) and the serve API (to report the true simulation
+// count) derive their totals from it, so the two can never drift.
+func (g Grid) baselineCells(jobs []Job) ([]sim.Config, map[baselineCell]int) {
+	idx := map[baselineCell]int{}
+	var cfgs []sim.Config
+	for _, j := range jobs {
+		c := baselineCell{j.Seed, j.Workload.Name}
+		if _, ok := idx[c]; !ok {
+			idx[c] = len(cfgs)
+			cfgs = append(cfgs, g.baselineConfig(j.Workload, j.Seed))
+		}
+	}
+	return cfgs, idx
+}
+
+// TotalSims reports how many simulations the grid runs end to end: its
+// jobs plus one matched baseline per distinct (seed, workload) cell — the
+// total the engine's Progress callback counts against.
+func (g Grid) TotalSims() (int, error) {
+	jobs, err := g.Jobs()
+	if err != nil {
+		return 0, err
+	}
+	cfgs, _ := g.baselineCells(jobs)
+	return len(jobs) + len(cfgs), nil
+}

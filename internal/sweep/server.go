@@ -1,0 +1,236 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"pvsim/internal/report"
+)
+
+// Server is the sweep service behind `pvsim serve`: submit a grid, poll its
+// status, fetch its result. Finished sweeps are cached by grid hash, so
+// resubmitting an identical grid returns the existing result instead of
+// re-simulating — the pooled systems underneath make even a cache-miss
+// re-run of familiar configurations rebuild-free.
+//
+//	POST /sweeps              {grid JSON}        -> 202 {id, status, ...} (200 if already known)
+//	GET  /sweeps              list all sweeps
+//	GET  /sweeps/{id}         status: queued/running/done/error + progress
+//	GET  /sweeps/{id}/result  finished result; ?format=json|text|md|csv (default json)
+//
+// MaxTrackedSweeps bounds the finished-sweep cache: past it, the oldest
+// finished sweeps are dropped (running sweeps are never dropped), so a
+// long-lived server's memory stays flat no matter how many distinct grids
+// it has served. A dropped sweep simply re-runs on resubmission — through
+// the still-warm system pool.
+const MaxTrackedSweeps = 64
+
+type Server struct {
+	engine *Engine
+	mux    *http.ServeMux
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepRun
+	seq    uint64 // submission order, for finished-sweep eviction
+}
+
+// sweepRun is the tracked state of one submitted grid.
+type sweepRun struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // "running", "done", "error"
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+	Error  string `json:"error,omitempty"`
+
+	grid   Grid
+	result *Result
+	seq    uint64
+}
+
+// NewServer builds a server running sweeps on one shared engine.
+func NewServer(opts Options) *Server {
+	s := &Server{
+		engine: New(opts),
+		mux:    http.NewServeMux(),
+		sweeps: map[string]*sweepRun{},
+	}
+	s.mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /sweeps", s.handleList)
+	s.mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /sweeps/{id}/result", s.handleResult)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	g, err := DecodeGrid(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g = g.normalized()
+	if err := g.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// TotalSims is the same jobs-plus-baselines count the engine's progress
+	// callback reports against, so the denominator never shifts mid-sweep.
+	total, err := g.TotalSims()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	id := g.Hash()
+	s.mu.Lock()
+	run, known := s.sweeps[id]
+	if !known {
+		run = &sweepRun{ID: id, Status: "running", Total: total, grid: g, seq: s.seq}
+		s.seq++
+		s.sweeps[id] = run
+		s.evictFinishedLocked()
+		go s.execute(run)
+	}
+	snapshot := *run
+	s.mu.Unlock()
+
+	status := http.StatusAccepted
+	if known {
+		status = http.StatusOK // dedup hit: same grid already submitted
+	}
+	writeJSON(w, status, snapshot)
+}
+
+// evictFinishedLocked drops the oldest finished sweeps past
+// MaxTrackedSweeps; the caller holds s.mu.
+func (s *Server) evictFinishedLocked() {
+	for len(s.sweeps) > MaxTrackedSweeps {
+		oldestID := ""
+		oldest := uint64(0)
+		for id, run := range s.sweeps {
+			if run.Status == "running" {
+				continue
+			}
+			if oldestID == "" || run.seq < oldest {
+				oldestID, oldest = id, run.seq
+			}
+		}
+		if oldestID == "" {
+			return // everything still running; nothing evictable
+		}
+		delete(s.sweeps, oldestID)
+	}
+}
+
+// execute runs one sweep in the background, updating its tracked state.
+func (s *Server) execute(run *sweepRun) {
+	res, err := s.engine.Run(context.Background(), run.grid, func(done, total int) {
+		s.mu.Lock()
+		run.Done, run.Total = done, total
+		s.mu.Unlock()
+	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		run.Status, run.Error = "error", err.Error()
+		return
+	}
+	run.Status, run.result = "done", res
+	run.Done = run.Total
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]sweepRun, 0, len(s.sweeps))
+	for _, run := range s.sweeps {
+		out = append(out, *run)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, map[string]interface{}{"sweeps": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	writeJSON(w, http.StatusOK, run)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+	switch run.Status {
+	case "error":
+		httpError(w, http.StatusInternalServerError, run.Error)
+		return
+	case "done":
+	default:
+		httpError(w, http.StatusConflict, fmt.Sprintf("sweep still %s (%d/%d jobs)", run.Status, run.Done, run.Total))
+		return
+	}
+
+	res := run.result
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		b, err := res.JSON()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, res.Doc().Text())
+	case "md":
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		fmt.Fprint(w, res.Doc().Markdown())
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		doc := res.Doc()
+		for _, sec := range doc.Sections {
+			if sec.Table != nil {
+				fmt.Fprint(w, sec.Table.CSV())
+			}
+		}
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json|text|md|csv)", format))
+	}
+}
+
+// lookup snapshots one sweep's state under the lock.
+func (s *Server) lookup(id string) (sweepRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.sweeps[id]
+	if !ok {
+		return sweepRun{}, false
+	}
+	return *run, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	b, err := report.EncodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postGrid submits a grid and decodes the status response.
+func postGrid(t *testing.T, ts *httptest.Server, g Grid) (status int, run sweepRun) {
+	t.Helper()
+	body, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, run
+}
+
+// pollDone polls the status endpoint until the sweep finishes.
+func pollDone(t *testing.T, ts *httptest.Server, id string) sweepRun {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var run sweepRun
+		err = json.NewDecoder(resp.Body).Decode(&run)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch run.Status {
+		case "done":
+			return run
+		case "error":
+			t.Fatalf("sweep failed: %s", run.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s still %s (%d/%d) after 30s", id, run.Status, run.Done, run.Total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerEndToEnd drives the full serve flow — submit, poll, fetch — and
+// pins the result against the same grid run in-process: the HTTP surface
+// must add nothing and lose nothing.
+func TestServerEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{Parallel: 4}))
+	defer ts.Close()
+
+	g := Grid{Specs: []string{"16-11a", "PV-8"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	code, run := postGrid(t, ts, g)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	if run.ID != g.Hash() {
+		t.Fatalf("sweep id %q, want grid hash %q", run.ID, g.Hash())
+	}
+
+	final := pollDone(t, ts, run.ID)
+	if final.Done != final.Total || final.Total == 0 {
+		t.Fatalf("finished sweep reports %d/%d", final.Done, final.Total)
+	}
+
+	resp, err := http.Get(fmt.Sprintf("%s/sweeps/%s/result", ts.URL, run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("fetch result: status %d err %v", resp.StatusCode, err)
+	}
+
+	inProcess, err := New(Options{Parallel: 1}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := inProcess.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want) {
+		t.Fatalf("served result differs from in-process run:\n--- served ---\n%s\n--- in-process ---\n%s", served, want)
+	}
+
+	// The text rendering is served too, and matches the in-process doc.
+	resp, err = http.Get(fmt.Sprintf("%s/sweeps/%s/result?format=text", ts.URL, run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(text) != inProcess.Doc().Text() {
+		t.Fatal("served text rendering differs from in-process doc")
+	}
+
+	// Resubmitting the identical grid is a cache hit: 200 (not 202), same
+	// id, already done, no re-simulation.
+	code, again := postGrid(t, ts, g)
+	if code != http.StatusOK {
+		t.Errorf("resubmit status %d, want 200", code)
+	}
+	if again.ID != run.ID || again.Status != "done" {
+		t.Errorf("resubmit = %+v, want done sweep %s", again, run.ID)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{Parallel: 2}))
+	defer ts.Close()
+
+	// Malformed and invalid grids: 400.
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed grid: status %d, want 400", resp.StatusCode)
+	}
+	if code, _ := postGrid(t, ts, Grid{Specs: []string{"no-such-spec"}}); code != http.StatusBadRequest {
+		t.Errorf("unknown spec: status %d, want 400", code)
+	}
+
+	// Unknown sweep ids: 404 for both status and result.
+	for _, path := range []string{"/sweeps/doesnotexist", "/sweeps/doesnotexist/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	// Unknown result format: 400.
+	g := Grid{Specs: []string{"none"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	_, run := postGrid(t, ts, g)
+	pollDone(t, ts, run.ID)
+	resp, err = http.Get(fmt.Sprintf("%s/sweeps/%s/result?format=yaml", ts.URL, run.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerList(t *testing.T) {
+	ts := httptest.NewServer(NewServer(Options{Parallel: 2}))
+	defer ts.Close()
+
+	g := Grid{Specs: []string{"none"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	_, run := postGrid(t, ts, g)
+	pollDone(t, ts, run.ID)
+
+	resp, err := http.Get(ts.URL + "/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Sweeps []sweepRun `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 1 || list.Sweeps[0].ID != run.ID {
+		t.Errorf("list = %+v, want the one submitted sweep", list.Sweeps)
+	}
+}

@@ -1,0 +1,257 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"pvsim/pv"
+
+	_ "pvsim/pv/predictors" // register the built-in predictor families
+)
+
+// testScale keeps sweep tests fast (the 1000-access floor) while still
+// running warmup + measurement end to end.
+const testScale = 0.0025
+
+// testGrid exercises every grid dimension: two workloads, a dedicated and a
+// virtualized spec plus the baseline, two PVCache sizes (multiplying only
+// the virtualized spec), and two seeds.
+func testGrid() Grid {
+	return Grid{
+		Specs:     []string{"none", "16-11a", "PV-8"},
+		Workloads: []string{"Apache", "Qry1"},
+		PVCache:   []int{4, 8},
+		Seeds:     []uint64{42, 7},
+		Scale:     testScale,
+	}
+}
+
+func TestGridExpansion(t *testing.T) {
+	jobs, err := testGrid().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per (seed, workload): none=1, 16-11a=1, PV-8=2 (pvcache 4 and 8).
+	want := 2 * 2 * (1 + 1 + 2)
+	if len(jobs) != want {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
+	}
+	for i, j := range jobs {
+		if j.Index != i {
+			t.Fatalf("job %d has Index %d", i, j.Index)
+		}
+	}
+	// Expansion is seed-major: all of seed 42 precedes all of seed 7.
+	if jobs[0].Seed != 42 || jobs[len(jobs)-1].Seed != 7 {
+		t.Errorf("expansion order not seed-major: first=%d last=%d", jobs[0].Seed, jobs[len(jobs)-1].Seed)
+	}
+	// The PVCache dimension applies to the virtualized spec only.
+	for _, j := range jobs {
+		switch j.SpecName {
+		case "PV-8":
+			if j.PVCache != 4 && j.PVCache != 8 {
+				t.Errorf("PV-8 job has PVCache %d", j.PVCache)
+			}
+		case "none", "16-11a":
+			if j.Config.Prefetch.Mode == pv.Virtualized {
+				t.Errorf("%s job became virtualized", j.SpecName)
+			}
+		}
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	for _, bad := range []Grid{
+		{},                                // no specs
+		{Specs: []string{"no-such-spec"}}, // unknown spec
+		{Specs: []string{"PV-8"}, Workloads: []string{"NoSuchWorkload"}},
+		{Specs: []string{"PV-8"}, PVCache: []int{0}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("grid %+v validated", bad)
+		}
+	}
+	if err := (Grid{Specs: []string{"PV-8"}}).Validate(); err != nil {
+		t.Errorf("minimal grid rejected: %v", err)
+	}
+}
+
+func TestGridHash(t *testing.T) {
+	a, b := testGrid(), testGrid()
+	if a.Hash() != b.Hash() {
+		t.Error("equal grids hash differently")
+	}
+	b.Seeds = []uint64{42}
+	if a.Hash() == b.Hash() {
+		t.Error("different grids collide")
+	}
+	// Defaults are part of the normalized identity: an explicit default
+	// equals an omitted one.
+	c := Grid{Specs: []string{"PV-8"}, Seeds: []uint64{42}, Scale: 1.0}
+	d := Grid{Specs: []string{"PV-8"}}
+	if c.Hash() != d.Hash() {
+		t.Error("normalized grid and explicit-defaults grid hash differently")
+	}
+}
+
+// TestSweepParallelDeterminism is the engine's headline guarantee and this
+// PR's focal test: the same grid at Parallel=1 and Parallel=8 must produce
+// byte-identical results — the structured JSON and every rendered form.
+// It runs at full strength under -short too, so the CI -race job always
+// exercises the scheduler against the determinism contract.
+func TestSweepParallelDeterminism(t *testing.T) {
+	g := testGrid()
+	run := func(parallel int) *Result {
+		res, err := New(Options{Parallel: parallel}).Run(context.Background(), g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+
+	js, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js, jp) {
+		t.Fatalf("Parallel=8 JSON differs from Parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s", js, jp)
+	}
+	if st, pt := serial.Doc().Text(), parallel.Doc().Text(); st != pt {
+		t.Fatalf("Parallel=8 text differs from Parallel=1:\n--- serial ---\n%s\n--- parallel ---\n%s", st, pt)
+	}
+
+	// And the merge really is in job order, not completion order.
+	for i, row := range parallel.Rows {
+		if row.Job != i {
+			t.Fatalf("row %d carries job %d; merged in completion order?", i, row.Job)
+		}
+	}
+}
+
+// TestSweepTimingParallelDeterminism repeats the guarantee for a timing
+// grid (windowed IPC collection has its own buffers to get wrong).
+func TestSweepTimingParallelDeterminism(t *testing.T) {
+	g := Grid{
+		Specs:     []string{"16-11a", "PV-8"},
+		Workloads: []string{"Apache"},
+		Seeds:     []uint64{42},
+		Scale:     testScale,
+		Timing:    true,
+	}
+	run := func(parallel int) string {
+		res, err := New(Options{Parallel: parallel}).Run(context.Background(), g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(1), run(8); a != b {
+		t.Fatalf("timing sweep diverges across parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestSweepSeedZero runs a seed-0 grid end to end: the seed-0 bugfix must
+// hold through the sweep layer (seed 0 rows differ from seed 42 rows).
+func TestSweepSeedZero(t *testing.T) {
+	g := Grid{Specs: []string{"16-11a"}, Workloads: []string{"Apache"}, Seeds: []uint64{0, 42}, Scale: testScale}
+	res, err := New(Options{Parallel: 2}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Misses == res.Rows[1].Misses && res.Rows[0].Covered == res.Rows[1].Covered {
+		t.Error("seed 0 and seed 42 rows are identical; seed 0 is being rewritten again")
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	g := Grid{Specs: []string{"none", "16-11a"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	var mu sync.Mutex
+	var dones []int
+	total := 0
+	_, err := New(Options{Parallel: 4}).Run(context.Background(), g, func(d, tot int) {
+		mu.Lock()
+		dones = append(dones, d)
+		total = tot
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 jobs + 1 baseline for the (42, Apache) cell.
+	if total != 3 {
+		t.Errorf("progress total = %d, want 3", total)
+	}
+	if len(dones) != total {
+		t.Errorf("progress called %d times, want %d", len(dones), total)
+	}
+	// Calls are serialized under the engine's progress lock, so done
+	// arrives strictly ascending: 1, 2, ..., total.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Errorf("progress done values %v: want 1..%d in order", dones, total)
+			break
+		}
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(Options{Parallel: 2}).Run(ctx, testGrid(), nil)
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepPoolBounded pins the MaxSystems eviction: a grid with more
+// distinct configurations than the pool bound must not retain more systems
+// than the bound.
+func TestSweepPoolBounded(t *testing.T) {
+	e := New(Options{Parallel: 2, MaxSystems: 2})
+	res, err := e.Run(context.Background(), testGrid(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs <= 2 {
+		t.Fatalf("grid too small to exercise eviction: %d jobs", res.Jobs)
+	}
+	if got := e.RetainedSystems(); got > 2 {
+		t.Errorf("pool retains %d systems, bound is 2", got)
+	}
+}
+
+// TestSweepRerunIdentical pins the pooled re-run path: Reset clears cached
+// results but keeps systems, and the re-executed sweep must be
+// byte-identical (Reset system reuse cannot perturb results).
+func TestSweepRerunIdentical(t *testing.T) {
+	e := New(Options{Parallel: 2})
+	g := Grid{Specs: []string{"16-11a", "PV-8"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	first, err := e.Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	second, err := e.Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := first.JSON()
+	b, _ := second.JSON()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("pooled re-run diverges:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
