@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -25,11 +26,19 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "access-count multiplier")
 	seed := flag.Uint64("seed", 42, "workload seed")
 	flag.Parse()
-
-	measure := int(float64(sim.DefaultScale) * *scale)
-	if measure < 1000 {
-		fmt.Fprintln(os.Stderr, "pvcalib: scale too small")
+	if err := calibrate(*scale, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pvcalib:", err)
 		os.Exit(1)
+	}
+}
+
+// calibrate runs the dashboard's simulation matrix and renders the table;
+// main is a flag-parsing shell around it so the smoke test can drive the
+// whole command in-process.
+func calibrate(scale float64, seed uint64, out io.Writer) error {
+	measure := int(float64(sim.DefaultScale) * scale)
+	if measure < 1000 {
+		return fmt.Errorf("scale %g too small (measure %d < 1000 accesses)", scale, measure)
 	}
 
 	ws := workloads.All()
@@ -41,7 +50,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			cfg := sim.Default(w)
-			cfg.Seed = *seed
+			cfg.Seed = seed
 			cfg.Measure = measure
 			cfg.Warmup = measure
 			base := cfg
@@ -100,6 +109,7 @@ func main() {
 	for _, r := range rows {
 		t.AddRow(r...)
 	}
-	fmt.Print(t.Text())
-	fmt.Println("\ncov/ovr = % of baseline L1 read misses covered / overpredicted")
+	fmt.Fprint(out, t.Text())
+	fmt.Fprintln(out, "\ncov/ovr = % of baseline L1 read misses covered / overpredicted")
+	return nil
 }

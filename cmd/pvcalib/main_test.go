@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pvsim/internal/workloads"
+)
+
+// calibTestScale hits the 1000-access floor: the full simulation matrix
+// (eight workloads x nine runs, functional and timing) still executes end
+// to end, just at smoke size.
+const calibTestScale = 0.0025
+
+// TestCalibrateSmoke drives the whole dashboard in-process: it must
+// succeed, print one row per Table 2 workload, and carry every column
+// header the calibration workflow reads.
+func TestCalibrateSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := calibrate(calibTestScale, 42, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, w := range workloads.All() {
+		if !strings.Contains(got, w.Name) {
+			t.Errorf("dashboard lacks a %s row", w.Name)
+		}
+	}
+	for _, col := range []string{"missRate", "L2hit", "Inf cov/ovr", "PV-8", "ΔL2req", "spd 1K", "spd PV8"} {
+		if !strings.Contains(got, col) {
+			t.Errorf("dashboard lacks the %q column", col)
+		}
+	}
+	if strings.Contains(got, "NaN") {
+		t.Error("dashboard contains NaN cells")
+	}
+}
+
+// TestCalibrateDeterministic: two runs of the same (scale, seed) must
+// render identical bytes, like every other surface of the simulator.
+func TestCalibrateDeterministic(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if err := calibrate(calibTestScale, 42, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("pvcalib output is not deterministic:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+}
+
+// TestCalibrateRejectsTinyScale pins the argument check main reports.
+func TestCalibrateRejectsTinyScale(t *testing.T) {
+	var out strings.Builder
+	if err := calibrate(0.000001, 42, &out); err == nil {
+		t.Fatal("sub-floor scale accepted")
+	}
+	if out.Len() != 0 {
+		t.Error("failed run still wrote output")
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"pvsim/internal/experiments"
 	"pvsim/internal/report"
+	"pvsim/internal/workloads"
 	"pvsim/pv"
 
 	_ "pvsim/pv/predictors" // register the built-in predictor families
@@ -105,6 +106,10 @@ func run(args []string, stdout io.Writer) error {
 					return err
 				}
 				fmt.Fprintf(out, "  %-12s %s\n", name, describeSpec(s))
+			}
+			fmt.Fprintln(out, "\nnamed mixes (pvsim sweep -mixes; also per-core specs like DB2/DB2/Apache/Apache):")
+			for _, m := range workloads.Mixes() {
+				fmt.Fprintf(out, "  %-12s %s — %s\n", m.Name, m.Spec(), m.Desc)
 			}
 			return nil
 		case "all":

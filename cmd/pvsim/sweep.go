@@ -19,7 +19,9 @@ import (
 func runSweep(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pvsim sweep", flag.ContinueOnError)
 	specs := fs.String("specs", "", "comma-separated registered spec names (see 'pvsim list')")
-	workloadsFlag := fs.String("workloads", "", "comma-separated workload names (default: all eight)")
+	workloadsFlag := fs.String("workloads", "", "comma-separated workload names (default: all eight, unless -mixes is set)")
+	mixes := fs.String("mixes", "", "comma-separated mix specs: named mixes (see 'pvsim list') or per-core forms like DB2/DB2/Apache/Apache or DB2+Apache@50000")
+	phaseFlush := fs.Bool("phaseflush", false, "flush predictor state at phase edges of phased mixes")
 	pvcache := fs.String("pvcache", "", "comma-separated PVCache entry counts, applied to virtualized specs")
 	seeds := fs.String("seeds", "", "comma-separated workload seeds (default: 42; 0 is a real seed)")
 	scale := fs.Float64("scale", 1.0, "access-count multiplier")
@@ -50,10 +52,12 @@ func runSweep(args []string, stdout io.Writer) error {
 		}
 	} else {
 		g = sweep.Grid{
-			Specs:     splitList(*specs),
-			Workloads: splitList(*workloadsFlag),
-			Scale:     *scale,
-			Timing:    *timing,
+			Specs:      splitList(*specs),
+			Workloads:  splitList(*workloadsFlag),
+			Mixes:      splitList(*mixes),
+			PhaseFlush: *phaseFlush,
+			Scale:      *scale,
+			Timing:     *timing,
 		}
 		for _, s := range splitList(*pvcache) {
 			n, err := strconv.Atoi(s)

@@ -74,6 +74,32 @@ func TestSweepGridFile(t *testing.T) {
 	}
 }
 
+// TestSweepMixesFlag drives the mix axis through the CLI: two mixes (one
+// heterogeneous, one phased) x two PVCache sizes, -p 1 vs -p 8
+// byte-identical — the acceptance matrix of the scenario subsystem, at the
+// flag-parsing level.
+func TestSweepMixesFlag(t *testing.T) {
+	args := []string{"sweep", "-specs", "PV-8", "-mixes", "oltp-web,DB2@500+Apache@500",
+		"-pvcache", "4,8", "-phaseflush", "-scale", "0.0025"}
+	var serial, parallel bytes.Buffer
+	if err := run(append(args, "-p", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-p", "8"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("-p 8 mixes sweep differs from -p 1:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.Bytes(), parallel.Bytes())
+	}
+	out := serial.String()
+	for _, want := range []string{"oltp-web", "DB2@500+Apache@500", "PV-8", "phase_flush=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestSweepErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"sweep"}, &out); err == nil {
@@ -81,6 +107,12 @@ func TestSweepErrors(t *testing.T) {
 	}
 	if err := run([]string{"sweep", "-specs", "no-such-spec"}, &out); err == nil {
 		t.Error("unknown spec accepted")
+	}
+	if err := run([]string{"sweep", "-specs", "PV-8", "-mixes", "no-such-mix"}, &out); err == nil {
+		t.Error("unknown mix accepted")
+	}
+	if err := run([]string{"sweep", "-specs", "PV-8", "-mixes", "DB2@x+Apache"}, &out); err == nil {
+		t.Error("malformed phase spec accepted")
 	}
 	if err := run([]string{"sweep", "-specs", "PV-8", "-seeds", "banana"}, &out); err == nil {
 		t.Error("non-numeric seed accepted")

@@ -56,27 +56,44 @@ func TestRunnerDeterminism(t *testing.T) {
 //	go run ./cmd/pvsim -scale 0.0025 -seed 42 fig4 stride fig6 ablations | sha256sum
 const goldenDigest = "367382e37bfe4313d40531b8915e2c3545b54cc6510e3cca787bb9c3e635ce35"
 
-// TestGoldenReportDigest re-renders the pinned experiment set — SMS
-// dedicated/infinite sweeps (fig4), both stride forms (stride), the PV
-// comparison (fig6) and the §2.1/§2.2 design options including timing
-// arbitration (ablations) — and compares the byte stream against
-// goldenDigest.
+// goldenMixesDigest pins the rendered text of `pvsim -scale 0.0025 -seed 42
+// mixes`, captured when the scenario subsystem landed. It holds the mixes
+// experiment — heterogeneous co-runs, the phased ctx-switch mix, and the
+// PhaseFlush variant — to the same byte-stability contract as the paper
+// experiments. Re-capture after an intentional behaviour change with:
+//
+//	go run ./cmd/pvsim -scale 0.0025 -seed 42 mixes | sha256sum
+const goldenMixesDigest = "4dfe76b61c8704ccae86539984349089bc573d7b3d395ac6aad3361954d1b37f"
+
+// TestGoldenReportDigest re-renders the pinned experiment sets and
+// compares the byte streams against their captures: the pre-pv-refactor
+// set — SMS dedicated/infinite sweeps (fig4), both stride forms (stride),
+// the PV comparison (fig6) and the §2.1/§2.2 design options including
+// timing arbitration (ablations) — against goldenDigest (which the
+// scenario subsystem must not have moved), and the mixes experiment
+// against goldenMixesDigest.
 func TestGoldenReportDigest(t *testing.T) {
 	if testing.Short() {
-		t.Skip("golden digest re-runs four experiments; skipped with -short")
+		t.Skip("golden digest re-runs five experiments; skipped with -short")
 	}
 	r := NewRunner(Options{Scale: determinismScale, Seed: 42})
-	var sb strings.Builder
-	for _, id := range []string{"fig4", "stride", "fig6", "ablations"} {
-		e, err := ByID(id)
-		if err != nil {
-			t.Fatal(err)
+	digest := func(ids ...string) string {
+		var sb strings.Builder
+		for _, id := range ids {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb.WriteString(e.Run(r).Text())
 		}
-		sb.WriteString(e.Run(r).Text())
+		sum := sha256.Sum256([]byte(sb.String()))
+		return hex.EncodeToString(sum[:])
 	}
-	sum := sha256.Sum256([]byte(sb.String()))
-	if got := hex.EncodeToString(sum[:]); got != goldenDigest {
+	if got := digest("fig4", "stride", "fig6", "ablations"); got != goldenDigest {
 		t.Fatalf("report text diverged from the pre-refactor capture:\n got %s\nwant %s\n(run the pvsim command in the goldenDigest comment to inspect)", got, goldenDigest)
+	}
+	if got := digest("mixes"); got != goldenMixesDigest {
+		t.Fatalf("mixes report text diverged from its capture:\n got %s\nwant %s\n(run the pvsim command in the goldenMixesDigest comment to inspect)", got, goldenMixesDigest)
 	}
 }
 

@@ -143,13 +143,35 @@ func (r *Runner) Options() Options { return r.opts }
 // same (workload, scale, seed) are the same simulation.
 func ConfigFor(w workloads.Workload, scale float64, seed uint64) sim.Config {
 	cfg := sim.Default(w)
+	applyScale(&cfg, scale, seed)
+	return cfg
+}
+
+// ConfigForMix builds the standard functional run of a multi-programmed
+// mix, scaled exactly like ConfigFor — a mix job and a workload job of the
+// same (scale, seed) run the same warmup/measure split. The mix is sized
+// for the configured core count (a one-core mix is cloned), and the
+// config's Workload carries the mix name for labeling only.
+func ConfigForMix(m workloads.Mix, scale float64, seed uint64) (sim.Config, error) {
+	cfg := sim.Default(workloads.Workload{Name: m.Name})
+	cores, err := m.ForCores(cfg.Hier.Cores)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Cores = cores
+	applyScale(&cfg, scale, seed)
+	return cfg, nil
+}
+
+// applyScale sets the seed and the scaled warmup/measure split shared by
+// ConfigFor and ConfigForMix.
+func applyScale(cfg *sim.Config, scale float64, seed uint64) {
 	cfg.Seed = seed
 	cfg.Measure = int(float64(sim.DefaultScale) * scale)
 	if cfg.Measure < 1000 {
 		cfg.Measure = 1000
 	}
 	cfg.Warmup = cfg.Measure
-	return cfg
 }
 
 // baseConfig builds the standard functional run of a workload at the
@@ -287,7 +309,7 @@ func All() []Experiment {
 		"table1": 0, "table2": 1, "table3": 2,
 		"fig4": 3, "fig5": 4, "fig6": 5, "fig7": 6, "fig8": 7,
 		"fig9": 8, "fig10": 9, "fig11": 10, "space": 11, "ablations": 12, "stride": 13,
-		"btb": 14,
+		"btb": 14, "mixes": 15,
 	}
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pvsim/internal/memsys"
+	"pvsim/internal/trace"
 	"pvsim/internal/workloads"
 	"pvsim/pv"
 )
@@ -77,6 +78,22 @@ type Config struct {
 	Hier     memsys.Config
 	Prefetch pv.Spec
 
+	// Cores optionally assigns each core its own (possibly phased) trace
+	// parameters — a heterogeneous multi-programmed mix. When empty,
+	// Workload.Params is cloned across all cores (the homogeneous runs of
+	// the paper's figures); when set, it must have exactly Hier.Cores
+	// entries and Workload is used for labeling only. A homogeneous Cores
+	// assignment produces bit-identical results to the equivalent Workload
+	// run: each core's generator is seeded by (params, Seed, core) either
+	// way.
+	Cores []workloads.CoreTrace
+
+	// PhaseFlush resets each core's predictor state (engine, tables, and
+	// for virtualized predictors the backing PVTable) at its phase
+	// boundaries, modeling an OS that flushes predictor state on context
+	// switch. Meaningful only for multi-phase core traces.
+	PhaseFlush bool
+
 	// Seed makes runs reproducible; runs with equal Workload+Seed see
 	// identical access streams regardless of prefetcher configuration.
 	Seed uint64
@@ -117,7 +134,16 @@ func (c Config) Validate() error {
 	if err := c.Hier.Validate(); err != nil {
 		return err
 	}
-	if err := c.Workload.Params.Validate(); err != nil {
+	if len(c.Cores) > 0 {
+		if len(c.Cores) != c.Hier.Cores {
+			return fmt.Errorf("sim: %d per-core trace assignments for %d cores", len(c.Cores), c.Hier.Cores)
+		}
+		for i, ct := range c.Cores {
+			if err := trace.ValidatePhases(ct.Phases); err != nil {
+				return fmt.Errorf("sim: core %d (%s): %w", i, ct.Label, err)
+			}
+		}
+	} else if err := c.Workload.Params.Validate(); err != nil {
 		return err
 	}
 	if c.Warmup < 0 || c.Measure <= 0 {
@@ -140,6 +166,15 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// phasesFor returns core c's phase list: the per-core scenario when one is
+// set, otherwise the homogeneous workload as a single never-ending phase.
+func (c Config) phasesFor(core int) []trace.Phase {
+	if len(c.Cores) > 0 {
+		return c.Cores[core].Phases
+	}
+	return []trace.Phase{{Params: c.Workload.Params}}
 }
 
 // PVStart returns core c's PVStart register value (see pv.TableStart).

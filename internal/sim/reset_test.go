@@ -68,6 +68,36 @@ func resetConfigs(t *testing.T) map[string]Config {
 	timing.Windows = 5
 	cfgs["pv8-timing"] = timing
 
+	// Scenario wirings: a heterogeneous mix and a phased stream with the
+	// context-switch flush — both route per-core state the homogeneous
+	// configs never touch.
+	mix, err := workloads.ParseMix("DB2/DB2/Apache/Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixCores, err := mix.ForCores(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het := small()
+	het.Prefetch = PV8
+	het.Cores = mixCores
+	cfgs["mix-pv8"] = het
+
+	phm, err := workloads.ParseMix("DB2@700+Apache@900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phCores, err := phm.ForCores(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased := small()
+	phased.Prefetch = PV8
+	phased.Cores = phCores
+	phased.PhaseFlush = true
+	cfgs["phased-pv8-flush"] = phased
+
 	return cfgs
 }
 

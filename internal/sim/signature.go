@@ -4,6 +4,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"pvsim/internal/trace"
 )
 
 // Signature renders every behaviour-affecting field of the configuration
@@ -22,7 +26,43 @@ func (c Config) Signature() string {
 		c.Timing, c.Windows,
 		c.Hier.L2.SizeBytes, c.Hier.L2.TagLatency, c.Hier.L2.DataLatency,
 		c.Hier.MemLatency, c.Prefetch.OnChipOnly, c.Prefetch.SharedTable,
-		c.Hier.Cores, c.Hier.PrioritizeAppOverPV, c.Hier.L2Banks)
+		c.Hier.Cores, c.Hier.PrioritizeAppOverPV, c.Hier.L2Banks) + c.scenarioSig()
+}
+
+// scenarioSig renders the per-core trace assignment into the signature:
+// empty for homogeneous runs (keeping their signatures byte-identical to
+// before mixes existed), otherwise every core's phase list — each phase as
+// its workload name, a digest of the *full* parameter set (two customized
+// parameter sets sharing a name must not collide), and its length — plus
+// the PhaseFlush switch.
+func (c Config) scenarioSig() string {
+	if len(c.Cores) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("|mix=")
+	for i, ct := range c.Cores {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		for j, ph := range ct.Phases {
+			if j > 0 {
+				sb.WriteByte('+')
+			}
+			sb.WriteString(phaseSig(ph))
+		}
+	}
+	fmt.Fprintf(&sb, "|pflush=%v", c.PhaseFlush)
+	return sb.String()
+}
+
+// phaseSig is one phase's signature component: name, parameter digest,
+// length. The digest keeps the full 64 bits — Signature is a cache key, and
+// a collision would silently return another simulation's result.
+func phaseSig(ph trace.Phase) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", ph.Params)
+	return fmt.Sprintf("%s#%016x@%d", ph.Params.Name, h.Sum64(), ph.Accesses)
 }
 
 // Hash is a short stable digest of Signature, suitable for machine-readable

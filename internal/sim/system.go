@@ -17,9 +17,13 @@ import (
 // the pv registry holds, including third-party ones, runs through the
 // same wiring.
 type System struct {
-	cfg   Config
-	Hier  *memsys.Hierarchy
-	gens  []*trace.Generator
+	cfg  Config
+	Hier *memsys.Hierarchy
+	// gens holds each core's access stream: a plain *trace.Generator for
+	// steady (single-phase) cores, a *trace.Phased for cores whose workload
+	// switches at access-count boundaries. Heterogeneous mixes give
+	// different cores different parameter sets through Config.Cores.
+	gens  []trace.Source
 	preds []pv.Instance // nil entries when Prefetch is the baseline
 	cores []*cpu.Core
 	clock []uint64
@@ -83,7 +87,7 @@ func NewSystem(cfg Config) *System {
 		cfg:       cfg,
 		detail:    true,
 		Hier:      memsys.New(hcfg),
-		gens:      make([]*trace.Generator, n),
+		gens:      make([]trace.Source, n),
 		preds:     make([]pv.Instance, n),
 		cores:     make([]*cpu.Core, n),
 		clock:     make([]uint64, n),
@@ -109,11 +113,21 @@ func NewSystem(cfg Config) *System {
 
 	shared := map[string]any{}
 	for c := 0; c < n; c++ {
-		sys.gens[c] = trace.NewGenerator(cfg.Workload.Params, cfg.Seed, c)
+		phases := cfg.phasesFor(c)
+		var phased *trace.Phased
+		if len(phases) == 1 {
+			sys.gens[c] = trace.NewGenerator(phases[0].Params, cfg.Seed, c)
+		} else {
+			phased = trace.NewPhased(phases, cfg.Seed, c)
+			sys.gens[c] = phased
+		}
 		sys.inflight[c] = make(map[memsys.Addr]uint64)
+		// The CPI accounting ratios are per-core constants taken from the
+		// core's first phase: phase switches change the access stream, not
+		// the timing model's instruction mix.
 		sys.cores[c] = cpu.New(cpu.Config{
-			MemRatio:    cfg.Workload.Params.MemRatio,
-			MLP:         cfg.Workload.Params.MLP,
+			MemRatio:    phases[0].Params.MemRatio,
+			MLP:         phases[0].Params.MLP,
 			L1Latency:   hcfg.L1Latency,
 			FrontEndMLP: 2,
 		})
@@ -148,6 +162,14 @@ func NewSystem(cfg Config) *System {
 		sys.Hier.SetL1DEvictHook(c, func(addr memsys.Addr, _ memsys.EvictCause) {
 			inst.OnEvict(sys.clock[c], addr)
 		})
+		if phased != nil && cfg.PhaseFlush {
+			// Context-switch model: the OS flushes this core's predictor
+			// state — engine, tables, and (virtualized) the backing PVTable —
+			// at every phase edge. pv/pvtest pins that a Reset instance is
+			// bit-identical to a fresh one, so the flush is exactly a cold
+			// start.
+			phased.SetEdgeHook(func(int) { inst.Reset() })
+		}
 	}
 
 	if cfg.Prefetch.OnChipOnly && cfg.Prefetch.Mode == pv.Virtualized && cfg.Prefetch.Enabled() {

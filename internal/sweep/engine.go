@@ -135,7 +135,7 @@ func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, e
 
 	res := &Result{Grid: g, Hash: g.Hash(), Jobs: len(jobs), Rows: make([]Row, len(jobs))}
 	for i, j := range jobs {
-		base := baseRes[baseIdx[baselineCell{j.Seed, j.Workload.Name}]]
+		base := baseRes[baseIdx[baselineCell{j.Seed, j.Scenario}]]
 		res.Rows[i] = rowFor(j, base, jobRes[i])
 	}
 	return res, nil

@@ -14,17 +14,28 @@ import (
 )
 
 // Grid declares a parameter sweep: the cross product of named predictor
-// specs, workloads, PVCache sizes and seeds, at one scale. It is plain
-// data — JSON-encodable for `pvsim sweep -grid file.json` and the serve
-// API — and expansion order is fixed (seed-major, then workload, then spec,
+// specs, scenarios (workloads and/or multi-programmed mixes), PVCache
+// sizes and seeds, at one scale. It is plain data — JSON-encodable for
+// `pvsim sweep -grid file.json` and the serve API — and expansion order is
+// fixed (seed-major, then scenario — workloads before mixes — then spec,
 // then PVCache size), so a grid is also the order of its output rows.
 type Grid struct {
 	// Specs names registered predictor configurations (`pvsim list` shows
 	// them: "1K-11a", "PV-8", "stride-PV-8", ... and "none" for the
 	// baseline). Required.
 	Specs []string `json:"specs"`
-	// Workloads names Table 2 workloads; empty means all eight.
+	// Workloads names Table 2 workloads; empty means all eight — unless
+	// Mixes is set, in which case an empty Workloads means mixes only.
 	Workloads []string `json:"workloads,omitempty"`
+	// Mixes adds multi-programmed scenarios to the scenario axis: named
+	// mixes ("oltp-web") or structural specs ("DB2/DB2/Apache/Apache",
+	// "DB2+Apache@50000" — see workloads.ParseMix for the syntax). Each
+	// mix is one scenario cell, exactly like a workload.
+	Mixes []string `json:"mixes,omitempty"`
+	// PhaseFlush flushes predictor state (engine and PVTable) at the phase
+	// edges of phased mixes, modeling context-switch flushes. No effect on
+	// steady scenarios.
+	PhaseFlush bool `json:"phase_flush,omitempty"`
 	// PVCache overrides the PVCache entry count of *virtualized* specs,
 	// one job per value; dedicated/infinite specs ignore it. Empty keeps
 	// each spec's own size.
@@ -42,11 +53,15 @@ type Grid struct {
 
 // Job is one expanded grid point: the exact sim.Config it runs plus the
 // coordinates it came from. Index is the job's position in expansion order
-// and the row slot its result is merged into.
+// and the row slot its result is merged into. Scenario is the row label —
+// the workload name, or the mix name/spec for mix jobs (Workload is the
+// zero value then).
 type Job struct {
 	Index    int
 	Seed     uint64
+	Scenario string
 	Workload workloads.Workload
+	Mix      string // the mix spec as given in the grid; empty for workload jobs
 	SpecName string
 	PVCache  int // effective PVCache entries; 0 when not virtualized
 	Config   sim.Config
@@ -66,9 +81,11 @@ func DecodeGrid(r io.Reader) (Grid, error) {
 	return g, nil
 }
 
-// normalized fills the grid's defaults without touching the receiver.
+// normalized fills the grid's defaults without touching the receiver. The
+// all-eight workload default applies only when no mixes are named: a
+// mixes-only grid runs exactly its mixes.
 func (g Grid) normalized() Grid {
-	if len(g.Workloads) == 0 {
+	if len(g.Workloads) == 0 && len(g.Mixes) == 0 {
 		g.Workloads = workloads.Names()
 	}
 	if len(g.Seeds) == 0 {
@@ -78,6 +95,37 @@ func (g Grid) normalized() Grid {
 		g.Scale = 1.0
 	}
 	return g
+}
+
+// scenario is one cell of the scenario axis: a plain workload or a
+// multi-programmed mix.
+type scenario struct {
+	name  string // row label: workload name, or the mix's name/spec
+	w     workloads.Workload
+	mix   workloads.Mix
+	isMix bool
+}
+
+// scenarios resolves the grid's scenario axis in expansion order:
+// workloads first, then mixes.
+func (g Grid) scenarios() ([]scenario, error) {
+	g = g.normalized()
+	out := make([]scenario, 0, len(g.Workloads)+len(g.Mixes))
+	for _, name := range g.Workloads {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, scenario{name: name, w: w})
+	}
+	for _, spec := range g.Mixes {
+		m, err := workloads.ParseMix(spec)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		out = append(out, scenario{name: m.Name, mix: m, isMix: true})
+	}
+	return out, nil
 }
 
 // Validate checks the grid against the pv and workload registries so a
@@ -94,6 +142,15 @@ func (g Grid) Validate() error {
 	}
 	for _, name := range g.Workloads {
 		if _, err := workloads.ByName(name); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	for _, spec := range g.Mixes {
+		m, err := workloads.ParseMix(spec)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if err := m.Validate(); err != nil {
 			return fmt.Errorf("sweep: %w", err)
 		}
 	}
@@ -126,13 +183,13 @@ func (g Grid) Jobs() ([]Job, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	scens, err := g.scenarios()
+	if err != nil {
+		return nil, err
+	}
 	var jobs []Job
 	for _, seed := range g.Seeds {
-		for _, wname := range g.Workloads {
-			w, err := workloads.ByName(wname)
-			if err != nil {
-				return nil, err
-			}
+		for _, sc := range scens {
 			for _, sname := range g.Specs {
 				spec, err := pv.SpecByName(sname)
 				if err != nil {
@@ -142,19 +199,27 @@ func (g Grid) Jobs() ([]Job, error) {
 					// Jobs are the cell's baseline config plus a prefetcher,
 					// so job and matched baseline can never drift apart in
 					// scale, timing or windowing.
-					cfg := g.baselineConfig(w, seed)
+					cfg, err := g.baselineConfig(sc, seed)
+					if err != nil {
+						return nil, err
+					}
 					cfg.Prefetch = variant
 					if err := cfg.Validate(); err != nil {
-						return nil, fmt.Errorf("sweep: job (seed=%d %s %s): %w", seed, wname, sname, err)
+						return nil, fmt.Errorf("sweep: job (seed=%d %s %s): %w", seed, sc.name, sname, err)
 					}
-					jobs = append(jobs, Job{
+					j := Job{
 						Index:    len(jobs),
 						Seed:     seed,
-						Workload: w,
+						Scenario: sc.name,
+						Workload: sc.w,
 						SpecName: sname,
 						PVCache:  variant.PVCacheEntries,
 						Config:   cfg,
-					})
+					}
+					if sc.isMix {
+						j.Mix = sc.name
+					}
+					jobs = append(jobs, j)
 				}
 			}
 		}
@@ -177,38 +242,52 @@ func pvcacheVariants(spec pv.Spec, entries []int) []pv.Spec {
 	return out
 }
 
-// baselineConfig builds one (workload, seed) cell's matched no-prefetcher
+// baselineConfig builds one (scenario, seed) cell's matched no-prefetcher
 // run: the config coverage is measured against, and — with Prefetch set —
 // the config every job of the cell runs. Keeping both behind this one
 // function is what makes them matched.
-func (g Grid) baselineConfig(w workloads.Workload, seed uint64) sim.Config {
+func (g Grid) baselineConfig(sc scenario, seed uint64) (sim.Config, error) {
 	g = g.normalized()
-	cfg := experiments.ConfigFor(w, g.Scale, seed)
+	var cfg sim.Config
+	if sc.isMix {
+		var err error
+		cfg, err = experiments.ConfigForMix(sc.mix, g.Scale, seed)
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("sweep: mix %q: %w", sc.name, err)
+		}
+		cfg.PhaseFlush = g.PhaseFlush
+	} else {
+		cfg = experiments.ConfigFor(sc.w, g.Scale, seed)
+	}
 	if g.Timing {
 		cfg.Timing = true
 		cfg.Windows = 20
 	}
-	return cfg
+	return cfg, nil
 }
 
-// baselineCell identifies one (seed, workload) pair needing a baseline run.
+// baselineCell identifies one (seed, scenario) pair needing a baseline run.
 type baselineCell struct {
-	seed uint64
-	w    string
+	seed     uint64
+	scenario string
 }
 
 // baselineCells returns the matched baseline configs for jobs, in first-use
-// order, and the index of each job's baseline. Both the engine (to schedule
-// the baseline wave) and the serve API (to report the true simulation
-// count) derive their totals from it, so the two can never drift.
+// order, and the index of each job's baseline. A cell's baseline is its
+// jobs' config with the prefetcher removed — derived, not rebuilt, so the
+// two can never drift. Both the engine (to schedule the baseline wave) and
+// the serve API (to report the true simulation count) take their totals
+// from it.
 func (g Grid) baselineCells(jobs []Job) ([]sim.Config, map[baselineCell]int) {
 	idx := map[baselineCell]int{}
 	var cfgs []sim.Config
 	for _, j := range jobs {
-		c := baselineCell{j.Seed, j.Workload.Name}
+		c := baselineCell{j.Seed, j.Scenario}
 		if _, ok := idx[c]; !ok {
+			base := j.Config
+			base.Prefetch = pv.Spec{}
 			idx[c] = len(cfgs)
-			cfgs = append(cfgs, g.baselineConfig(j.Workload, j.Seed))
+			cfgs = append(cfgs, base)
 		}
 	}
 	return cfgs, idx

@@ -11,8 +11,10 @@ import (
 // against the job's matched baseline (same workload, seed, scale, timing;
 // no prefetcher), exactly like the paper's figures.
 type Row struct {
-	Job      int    `json:"job"`
-	Seed     uint64 `json:"seed"`
+	Job  int    `json:"job"`
+	Seed uint64 `json:"seed"`
+	// Workload is the scenario label: the workload name, or the mix
+	// name/spec for jobs from the grid's Mixes axis.
 	Workload string `json:"workload"`
 	Spec     string `json:"spec"`  // registered spec name, as given in the grid
 	Label    string `json:"label"` // family label of the effective config ("PV-8", ...)
@@ -49,7 +51,7 @@ func rowFor(j Job, base, res sim.Result) Row {
 	row := Row{
 		Job:      j.Index,
 		Seed:     j.Seed,
-		Workload: j.Workload.Name,
+		Workload: j.Scenario,
 		Spec:     j.SpecName,
 		Label:    j.Config.Prefetch.Label(),
 		PVCache:  j.PVCache,
@@ -114,12 +116,16 @@ func (r *Result) Doc() *report.Doc {
 		ID:    "sweep",
 		Title: fmt.Sprintf("parameter sweep (%d jobs, grid %s)", r.Jobs, r.Hash),
 	}
+	mixes := ""
+	if len(r.Grid.Mixes) > 0 {
+		mixes = fmt.Sprintf(" mixes=%v phase_flush=%v", r.Grid.Mixes, r.Grid.PhaseFlush)
+	}
 	doc.Add(report.Section{
 		Table: t,
-		Body: fmt.Sprintf("Grid: specs=%v workloads=%v pvcache=%v seeds=%v scale=%g timing=%v\n"+
+		Body: fmt.Sprintf("Grid: specs=%v workloads=%v pvcache=%v seeds=%v scale=%g timing=%v%s\n"+
 			"Coverage fractions are against each job's matched no-prefetcher baseline.\n"+
 			"Rows are in grid expansion order (seed-major), identical at any -p.",
-			r.Grid.Specs, r.Grid.Workloads, r.Grid.PVCache, r.Grid.Seeds, r.Grid.Scale, r.Grid.Timing),
+			r.Grid.Specs, r.Grid.Workloads, r.Grid.PVCache, r.Grid.Seeds, r.Grid.Scale, r.Grid.Timing, mixes),
 	})
 	return doc
 }

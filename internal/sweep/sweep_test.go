@@ -15,13 +15,17 @@ import (
 // running warmup + measurement end to end.
 const testScale = 0.0025
 
-// testGrid exercises every grid dimension: two workloads, a dedicated and a
-// virtualized spec plus the baseline, two PVCache sizes (multiplying only
-// the virtualized spec), and two seeds.
+// testGrid exercises every grid dimension: two workloads plus two mixes
+// (one heterogeneous, one phased with phase lengths inside the test-scale
+// budget), a dedicated and a virtualized spec plus the baseline, two
+// PVCache sizes (multiplying only the virtualized spec), and two seeds.
+// TestSweepParallelDeterminism runs it at -p 1 vs -p 8, which is the
+// acceptance matrix: >= 2 mixes x 2 PVCache sizes, byte-identical.
 func testGrid() Grid {
 	return Grid{
 		Specs:     []string{"none", "16-11a", "PV-8"},
 		Workloads: []string{"Apache", "Qry1"},
+		Mixes:     []string{"oltp-web", "DB2@500+Apache@500"},
 		PVCache:   []int{4, 8},
 		Seeds:     []uint64{42, 7},
 		Scale:     testScale,
@@ -33,8 +37,9 @@ func TestGridExpansion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Per (seed, workload): none=1, 16-11a=1, PV-8=2 (pvcache 4 and 8).
-	want := 2 * 2 * (1 + 1 + 2)
+	// Per (seed, scenario): none=1, 16-11a=1, PV-8=2 (pvcache 4 and 8);
+	// scenarios are two workloads plus two mixes.
+	want := 2 * (2 + 2) * (1 + 1 + 2)
 	if len(jobs) != want {
 		t.Fatalf("expanded %d jobs, want %d", len(jobs), want)
 	}
@@ -43,9 +48,16 @@ func TestGridExpansion(t *testing.T) {
 			t.Fatalf("job %d has Index %d", i, j.Index)
 		}
 	}
-	// Expansion is seed-major: all of seed 42 precedes all of seed 7.
+	// Expansion is seed-major: all of seed 42 precedes all of seed 7; and
+	// within a seed, workloads precede mixes.
 	if jobs[0].Seed != 42 || jobs[len(jobs)-1].Seed != 7 {
 		t.Errorf("expansion order not seed-major: first=%d last=%d", jobs[0].Seed, jobs[len(jobs)-1].Seed)
+	}
+	if jobs[0].Scenario != "Apache" || jobs[0].Mix != "" {
+		t.Errorf("first job is %q (mix %q), want the Apache workload", jobs[0].Scenario, jobs[0].Mix)
+	}
+	if last := jobs[len(jobs)-1]; last.Mix != "DB2@500+Apache@500" || last.Workload.Name != "" {
+		t.Errorf("last job is %+v, want the phased mix with a zero Workload", last)
 	}
 	// The PVCache dimension applies to the virtualized spec only.
 	for _, j := range jobs {
@@ -68,6 +80,9 @@ func TestGridValidate(t *testing.T) {
 		{Specs: []string{"no-such-spec"}}, // unknown spec
 		{Specs: []string{"PV-8"}, Workloads: []string{"NoSuchWorkload"}},
 		{Specs: []string{"PV-8"}, PVCache: []int{0}},
+		{Specs: []string{"PV-8"}, Mixes: []string{"no-such-mix"}},
+		{Specs: []string{"PV-8"}, Mixes: []string{"DB2@0+Apache"}},
+		{Specs: []string{"PV-8"}, Mixes: []string{""}},
 	} {
 		if err := bad.Validate(); err == nil {
 			t.Errorf("grid %+v validated", bad)
@@ -75,6 +90,14 @@ func TestGridValidate(t *testing.T) {
 	}
 	if err := (Grid{Specs: []string{"PV-8"}}).Validate(); err != nil {
 		t.Errorf("minimal grid rejected: %v", err)
+	}
+	if err := (Grid{Specs: []string{"PV-8"}, Mixes: []string{"oltp-web"}}).Validate(); err != nil {
+		t.Errorf("mixes-only grid rejected: %v", err)
+	}
+	// A mix that parses but cannot be sized onto the system errors at job
+	// expansion, before any simulation.
+	if _, err := (Grid{Specs: []string{"PV-8"}, Mixes: []string{"DB2/Apache"}, Scale: testScale}).Jobs(); err == nil {
+		t.Error("two-core mix expanded onto a four-core system")
 	}
 }
 
@@ -93,6 +116,67 @@ func TestGridHash(t *testing.T) {
 	d := Grid{Specs: []string{"PV-8"}}
 	if c.Hash() != d.Hash() {
 		t.Error("normalized grid and explicit-defaults grid hash differently")
+	}
+	// The mix axis and the flush switch are both part of the identity.
+	e := Grid{Specs: []string{"PV-8"}, Mixes: []string{"ctx-switch"}}
+	if e.Hash() == d.Hash() {
+		t.Error("mix axis not part of the grid hash")
+	}
+	f := e
+	f.PhaseFlush = true
+	if e.Hash() == f.Hash() {
+		t.Error("PhaseFlush not part of the grid hash")
+	}
+}
+
+// TestSweepHomogeneousMixMatchesWorkload is the sweep-level face of the
+// bit-identity acceptance criterion: the same workload run as a plain
+// scenario and as a four-core homogeneous mix must produce numerically
+// identical rows (labels and config hashes legitimately differ — the mix
+// config carries per-core assignments).
+func TestSweepHomogeneousMixMatchesWorkload(t *testing.T) {
+	g := Grid{
+		Specs:     []string{"16-11a", "PV-8"},
+		Workloads: []string{"Apache"},
+		Mixes:     []string{"Apache/Apache/Apache/Apache"},
+		Seeds:     []uint64{42},
+		Scale:     testScale,
+	}
+	res, err := New(Options{Parallel: 4}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	for i := 0; i < 2; i++ {
+		w, m := res.Rows[i], res.Rows[i+2]
+		if w.Workload != "Apache" || m.Workload != "Apache/Apache/Apache/Apache" {
+			t.Fatalf("row pairing broken: %q vs %q", w.Workload, m.Workload)
+		}
+		w.Job, m.Job = 0, 0
+		w.Workload, m.Workload = "", ""
+		w.Config, m.Config = "", ""
+		if w != m {
+			t.Errorf("spec %s: homogeneous mix row diverges from workload row:\nworkload: %+v\nmix:      %+v",
+				res.Rows[i].Spec, w, m)
+		}
+	}
+}
+
+// TestSweepMixesOnlyGrid: naming mixes without workloads must not pull in
+// the all-eight workload default.
+func TestSweepMixesOnlyGrid(t *testing.T) {
+	g := Grid{Specs: []string{"16-11a"}, Mixes: []string{"oltp-web"}, Scale: testScale}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("mixes-only grid expanded %d jobs, want 1", len(jobs))
+	}
+	if jobs[0].Scenario != "oltp-web" || jobs[0].Mix != "oltp-web" {
+		t.Fatalf("job is %+v, want the oltp-web mix", jobs[0])
 	}
 }
 

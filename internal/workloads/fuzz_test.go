@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"testing"
+
+	"pvsim/internal/trace"
+)
+
+// FuzzMixParse pins the mix spec grammar from both sides — the strings
+// `pvsim sweep -mixes` and the serve API accept:
+//
+//  1. ParseMix never panics, whatever bytes arrive.
+//  2. Anything it accepts is a *usable* mix: it validates, every phase's
+//     parameter set builds a generator, the canonical Spec() form
+//     re-parses to the same per-core assignment, and sizing onto a core
+//     count either succeeds or errors cleanly.
+func FuzzMixParse(f *testing.F) {
+	f.Add("oltp-web")
+	f.Add("ctx-switch")
+	f.Add("Apache")
+	f.Add("DB2/DB2/Apache/Apache")
+	f.Add("DB2+Apache@50000")
+	f.Add("DB2+Apache@50000/Apache+DB2@50000/DB2/Qry1")
+	f.Add(" Qry17 / Zeus ")
+	f.Add("DB2@")
+	f.Add("@5000")
+	f.Add("DB2//Apache")
+	f.Add("+")
+	f.Add("DB2+Apache@99999999999999999999")
+	f.Add("Apache@-1/")
+	f.Fuzz(func(t *testing.T, spec string) {
+		m, err := ParseMix(spec)
+		if err != nil {
+			return // rejected is fine; rejecting by panic is not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("ParseMix(%q) accepted an invalid mix: %v", spec, err)
+		}
+		for i, ct := range m.Cores {
+			if err := trace.ValidatePhases(ct.Phases); err != nil {
+				t.Fatalf("ParseMix(%q) core %d: %v", spec, i, err)
+			}
+		}
+		// The canonical form must re-parse to the same assignment.
+		again, err := ParseMix(m.Spec())
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", m.Spec(), spec, err)
+		}
+		if len(again.Cores) != len(m.Cores) {
+			t.Fatalf("round-trip of %q changed core count %d -> %d", spec, len(m.Cores), len(again.Cores))
+		}
+		for i := range m.Cores {
+			if len(again.Cores[i].Phases) != len(m.Cores[i].Phases) {
+				t.Fatalf("round-trip of %q changed core %d phase count", spec, i)
+			}
+			for j := range m.Cores[i].Phases {
+				a, b := m.Cores[i].Phases[j], again.Cores[i].Phases[j]
+				if a.Params.Name != b.Params.Name || a.Accesses != b.Accesses {
+					t.Fatalf("round-trip of %q changed core %d phase %d: %s@%d -> %s@%d",
+						spec, i, j, a.Params.Name, a.Accesses, b.Params.Name, b.Accesses)
+				}
+			}
+		}
+		// Sizing must never panic, whatever the core count relation is.
+		if cts, err := m.ForCores(4); err == nil && len(cts) != 4 {
+			t.Fatalf("ForCores(4) on %q returned %d cores without error", spec, len(cts))
+		}
+	})
+}

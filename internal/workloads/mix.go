@@ -1,0 +1,242 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pvsim/internal/trace"
+)
+
+// CoreTrace is one core's trace assignment inside a mix: a list of phases
+// the core cycles through (a single phase is a steady workload). Label is
+// the core's spec string, e.g. "DB2" or "DB2+Apache@50000".
+type CoreTrace struct {
+	Label  string
+	Phases []trace.Phase
+}
+
+// Mix is a named multi-programmed scenario: one (possibly phased) workload
+// assignment per core. A one-entry mix is cloned across however many cores
+// the system has; otherwise the entry count must match the core count.
+// Mixes are the heterogeneous co-runs the paper's homogeneous experiments
+// leave unexplored — they stress the L2 exactly where PVCache contention
+// hurts.
+type Mix struct {
+	Name  string
+	Desc  string
+	Cores []CoreTrace
+}
+
+// DefaultPhaseAccesses is the phase length used when a phased core spec
+// omits the "@count" suffix: a quarter of the default measured access count,
+// so a default-scale run sees several switches per core.
+const DefaultPhaseAccesses = 100_000
+
+// CtxSwitchPhaseAccesses is the phase length of the named "ctx-switch" mix.
+const CtxSwitchPhaseAccesses = 50_000
+
+// steady returns the single-phase core trace of a named workload; it panics
+// on unknown names (named mixes are built from the Table 2 set).
+func steady(name string) CoreTrace {
+	w, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return CoreTrace{Label: name, Phases: []trace.Phase{{Params: w.Params}}}
+}
+
+// alternating returns a core trace that switches between two workloads
+// every n accesses.
+func alternating(a, b string, n int) CoreTrace {
+	wa, err := ByName(a)
+	if err != nil {
+		panic(err)
+	}
+	wb, err := ByName(b)
+	if err != nil {
+		panic(err)
+	}
+	return CoreTrace{
+		Label: fmt.Sprintf("%s@%d+%s@%d", a, n, b, n),
+		Phases: []trace.Phase{
+			{Params: wa.Params, Accesses: n},
+			{Params: wb.Params, Accesses: n},
+		},
+	}
+}
+
+// Mixes returns the named multi-programmed scenarios, sized for the default
+// four-core system. Every entry is resolvable by ParseMix; `pvsim list`
+// and the `mixes` experiment enumerate them in this order.
+func Mixes() []Mix {
+	return []Mix{
+		{
+			Name:  "oltp-web",
+			Desc:  "TPC-C on DB2 co-scheduled with SPECweb on Apache (two cores each)",
+			Cores: []CoreTrace{steady("DB2"), steady("DB2"), steady("Apache"), steady("Apache")},
+		},
+		{
+			Name:  "dss-oltp",
+			Desc:  "scan-dominated TPC-H Qry1 next to the PHT-hostile Oracle OLTP (two cores each)",
+			Cores: []CoreTrace{steady("Qry1"), steady("Qry1"), steady("Oracle"), steady("Oracle")},
+		},
+		{
+			Name:  "web-dss",
+			Desc:  "both web servers next to a scan-heavy and a balanced TPC-H query",
+			Cores: []CoreTrace{steady("Apache"), steady("Zeus"), steady("Qry1"), steady("Qry17")},
+		},
+		{
+			Name:  "fourway",
+			Desc:  "one workload of every class: web, OLTP x2, DSS",
+			Cores: []CoreTrace{steady("Apache"), steady("DB2"), steady("Qry1"), steady("Oracle")},
+		},
+		{
+			Name: "ctx-switch",
+			Desc: fmt.Sprintf("every core context-switches between DB2 and Apache each %d accesses", CtxSwitchPhaseAccesses),
+			Cores: []CoreTrace{
+				alternating("DB2", "Apache", CtxSwitchPhaseAccesses),
+				alternating("Apache", "DB2", CtxSwitchPhaseAccesses),
+				alternating("DB2", "Apache", CtxSwitchPhaseAccesses),
+				alternating("Apache", "DB2", CtxSwitchPhaseAccesses),
+			},
+		},
+	}
+}
+
+// MixNames returns the named mixes in order.
+func MixNames() []string {
+	ms := Mixes()
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// MixByName returns the named mix.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("workloads: unknown mix %q (have %v)", name, MixNames())
+}
+
+// ParseMix resolves a mix spec string — the syntax `pvsim sweep -mixes`
+// accepts:
+//
+//	spec     := mixName | coreSpec { "/" coreSpec }
+//	coreSpec := phase { "+" phase }
+//	phase    := workloadName [ "@" accesses ]
+//
+// A named mix ("oltp-web") resolves from Mixes(); a bare workload name
+// ("Apache") is the homogeneous mix of that workload; "DB2/DB2/Apache/
+// Apache" assigns per core; "DB2+Apache@50000" alternates phases of 50000
+// accesses on every core. A multi-phase core spec without "@" uses
+// DefaultPhaseAccesses. The mix's Name is the spec string itself for
+// structural specs, so row labels stay self-describing.
+func ParseMix(spec string) (Mix, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Mix{}, fmt.Errorf("workloads: empty mix spec")
+	}
+	if m, err := MixByName(spec); err == nil {
+		return m, nil
+	}
+	parts := strings.Split(spec, "/")
+	m := Mix{Name: spec, Cores: make([]CoreTrace, 0, len(parts))}
+	for _, part := range parts {
+		ct, err := parseCoreSpec(part)
+		if err != nil {
+			return Mix{}, fmt.Errorf("workloads: mix %q: %w", spec, err)
+		}
+		m.Cores = append(m.Cores, ct)
+	}
+	return m, nil
+}
+
+// parseCoreSpec parses one core's "+"-joined phase list.
+func parseCoreSpec(s string) (CoreTrace, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return CoreTrace{}, fmt.Errorf("empty core spec")
+	}
+	phaseSpecs := strings.Split(s, "+")
+	ct := CoreTrace{Label: s, Phases: make([]trace.Phase, 0, len(phaseSpecs))}
+	for _, ps := range phaseSpecs {
+		ph, err := parsePhaseSpec(ps, len(phaseSpecs) > 1)
+		if err != nil {
+			return CoreTrace{}, err
+		}
+		ct.Phases = append(ct.Phases, ph)
+	}
+	return ct, nil
+}
+
+// parsePhaseSpec parses "workload[@accesses]"; multi selects the default
+// phase length when the count is omitted from a multi-phase spec.
+func parsePhaseSpec(s string, multi bool) (trace.Phase, error) {
+	s = strings.TrimSpace(s)
+	name, countStr, hasCount := strings.Cut(s, "@")
+	name = strings.TrimSpace(name)
+	w, err := ByName(name)
+	if err != nil {
+		return trace.Phase{}, err
+	}
+	ph := trace.Phase{Params: w.Params}
+	if hasCount {
+		n, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil {
+			return trace.Phase{}, fmt.Errorf("phase %q: bad access count: %v", s, err)
+		}
+		if n <= 0 {
+			return trace.Phase{}, fmt.Errorf("phase %q: access count must be positive", s)
+		}
+		ph.Accesses = n
+	} else if multi {
+		ph.Accesses = DefaultPhaseAccesses
+	}
+	return ph, nil
+}
+
+// Spec renders the mix's structural spec string — the per-core form
+// ParseMix accepts, regardless of whether the mix was named or structural.
+func (m Mix) Spec() string {
+	labels := make([]string, len(m.Cores))
+	for i, ct := range m.Cores {
+		labels[i] = ct.Label
+	}
+	return strings.Join(labels, "/")
+}
+
+// ForCores sizes the mix for an n-core system: a one-entry mix is cloned
+// across cores, an n-entry mix is used as-is, anything else errors.
+func (m Mix) ForCores(n int) ([]CoreTrace, error) {
+	switch len(m.Cores) {
+	case n:
+		return m.Cores, nil
+	case 1:
+		out := make([]CoreTrace, n)
+		for i := range out {
+			out[i] = m.Cores[0]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("workloads: mix %q assigns %d cores, system has %d (use 1 or %d entries)",
+		m.Name, len(m.Cores), n, n)
+}
+
+// Validate checks every core's phase list.
+func (m Mix) Validate() error {
+	if len(m.Cores) == 0 {
+		return fmt.Errorf("workloads: mix %q has no cores", m.Name)
+	}
+	for i, ct := range m.Cores {
+		if err := trace.ValidatePhases(ct.Phases); err != nil {
+			return fmt.Errorf("workloads: mix %q core %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNamedMixesAreWellFormed: every named mix must validate, size onto the
+// default four-core system, and resolve back through ParseMix by name.
+func TestNamedMixesAreWellFormed(t *testing.T) {
+	if len(Mixes()) < 2 {
+		t.Fatal("fewer than two named mixes")
+	}
+	for _, m := range Mixes() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("mix %s invalid: %v", m.Name, err)
+		}
+		cts, err := m.ForCores(4)
+		if err != nil {
+			t.Errorf("mix %s does not fit four cores: %v", m.Name, err)
+		}
+		if len(cts) != 4 {
+			t.Errorf("mix %s sized to %d cores", m.Name, len(cts))
+		}
+		got, err := ParseMix(m.Name)
+		if err != nil {
+			t.Errorf("named mix %s not parseable: %v", m.Name, err)
+		}
+		if got.Name != m.Name || len(got.Cores) != len(m.Cores) {
+			t.Errorf("ParseMix(%q) resolved to %s/%d cores", m.Name, got.Name, len(got.Cores))
+		}
+	}
+}
+
+// TestMixNamesDontShadowWorkloads: a workload name must stay parseable as
+// the homogeneous mix of itself — named mixes may not claim Table 2 names.
+func TestMixNamesDontShadowWorkloads(t *testing.T) {
+	for _, name := range MixNames() {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("mix name %q shadows a workload", name)
+		}
+	}
+	m, err := ParseMix("Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cores) != 1 || m.Cores[0].Phases[0].Params.Name != "Apache" {
+		t.Fatalf("bare workload name parsed to %+v", m)
+	}
+	cts, err := m.ForCores(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ct := range cts {
+		if ct.Phases[0].Params.Name != "Apache" {
+			t.Fatal("homogeneous mix not cloned across cores")
+		}
+	}
+}
+
+func TestParseMixStructural(t *testing.T) {
+	m, err := ParseMix("DB2/DB2/Apache/Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Cores) != 4 {
+		t.Fatalf("%d cores", len(m.Cores))
+	}
+	for i, want := range []string{"DB2", "DB2", "Apache", "Apache"} {
+		if got := m.Cores[i].Phases[0].Params.Name; got != want {
+			t.Errorf("core %d runs %s, want %s", i, got, want)
+		}
+		if len(m.Cores[i].Phases) != 1 {
+			t.Errorf("core %d has %d phases", i, len(m.Cores[i].Phases))
+		}
+	}
+	// Whitespace is tolerated around separators.
+	if _, err := ParseMix(" DB2 / Apache , "); err == nil {
+		t.Error("trailing comma accepted")
+	}
+	if _, err := ParseMix(" DB2 / Apache "); err != nil {
+		t.Errorf("spaced spec rejected: %v", err)
+	}
+}
+
+func TestParseMixPhased(t *testing.T) {
+	m, err := ParseMix("DB2+Apache@5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := m.Cores[0].Phases
+	if len(ph) != 2 {
+		t.Fatalf("%d phases", len(ph))
+	}
+	// The count binds to the phase it is written on; the unannotated phase
+	// gets the default length.
+	if ph[0].Params.Name != "DB2" || ph[0].Accesses != DefaultPhaseAccesses {
+		t.Errorf("phase 0 = %s@%d", ph[0].Params.Name, ph[0].Accesses)
+	}
+	if ph[1].Params.Name != "Apache" || ph[1].Accesses != 5000 {
+		t.Errorf("phase 1 = %s@%d", ph[1].Params.Name, ph[1].Accesses)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMixErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",                               // empty
+		"NoSuchWorkload",                 // unknown name
+		"DB2//Apache",                    // empty core spec
+		"DB2+",                           // empty phase
+		"DB2@x",                          // non-numeric count
+		"DB2@-5",                         // negative count
+		"DB2@0",                          // zero count
+		"DB2@99999999999999999999999999", // overflow
+		"/",                              // nothing but separator
+	} {
+		if _, err := ParseMix(spec); err == nil {
+			t.Errorf("spec %q parsed", spec)
+		}
+	}
+}
+
+func TestMixSpecRoundTrip(t *testing.T) {
+	for _, spec := range []string{
+		"Apache",
+		"DB2/DB2/Apache/Apache",
+		"DB2+Apache@5000/Qry1",
+	} {
+		m, err := ParseMix(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		again, err := ParseMix(m.Spec())
+		if err != nil {
+			t.Fatalf("canonical spec %q does not re-parse: %v", m.Spec(), err)
+		}
+		if len(again.Cores) != len(m.Cores) {
+			t.Errorf("%q round-trips to %d cores, had %d", spec, len(again.Cores), len(m.Cores))
+		}
+	}
+	// Named mixes render their structural form, which re-parses to the same
+	// assignment under a different name.
+	m, _ := MixByName("oltp-web")
+	again, err := ParseMix(m.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Cores {
+		if again.Cores[i].Phases[0].Params.Name != m.Cores[i].Phases[0].Params.Name {
+			t.Errorf("core %d changed workload across round-trip", i)
+		}
+	}
+}
+
+func TestForCoresMismatch(t *testing.T) {
+	m, err := ParseMix("DB2/Apache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ForCores(4); err == nil {
+		t.Error("two-core mix sized onto four cores")
+	}
+	if _, err := m.ForCores(2); err != nil {
+		t.Errorf("two-core mix rejected for two cores: %v", err)
+	}
+	if !strings.Contains(MixNames()[0], "oltp") {
+		t.Errorf("first named mix is %q, expected the oltp-web ordering", MixNames()[0])
+	}
+}
