@@ -16,6 +16,7 @@ import (
 	"pvsim/internal/sim"
 	"pvsim/internal/sms"
 	"pvsim/internal/sweep"
+	"pvsim/internal/timing"
 	"pvsim/internal/trace"
 	"pvsim/internal/workloads"
 )
@@ -56,6 +57,7 @@ func BenchmarkFig9(b *testing.B)   { benchExperiment(b, "fig9") }
 func BenchmarkFig10(b *testing.B)  { benchExperiment(b, "fig10") }
 func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
 func BenchmarkSpace(b *testing.B)  { benchExperiment(b, "space") }
+func BenchmarkTiming(b *testing.B) { benchExperiment(b, "timing") }
 
 // BenchmarkHeadline measures the paper's central comparison directly —
 // dedicated 1K-11a vs virtualized PV-8 — and reports coverage and the
@@ -336,6 +338,52 @@ func BenchmarkSystemStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Step(i & 3)
+	}
+}
+
+// BenchmarkSystemStepCost is BenchmarkSystemStep with the passive cost
+// model folding every step: the fold must keep the hot path at 0
+// allocs/op (its accumulators are fixed per-core structs).
+func BenchmarkSystemStepCost(b *testing.B) {
+	w, _ := workloads.ByName("Apache")
+	cfg := sim.Default(w)
+	cfg.Prefetch = sim.PV8
+	cfg.Timing = true
+	cfg.Cost = timing.Config{Enabled: true}
+	sys := sim.NewSystem(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(i & 3)
+	}
+}
+
+// BenchmarkHeadlineCostReuse is BenchmarkHeadlineReuse with cost
+// accounting on: the system-reuse steady state must stay allocation-free
+// with the fold active, and it reports the modeled PV-8 slowdown next to
+// the coverage metrics.
+func BenchmarkHeadlineCostReuse(b *testing.B) {
+	w, err := workloads.ByName("Apache")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default(w)
+	cfg.Warmup, cfg.Measure = 40_000, 40_000
+	cfg.Cost = timing.Config{Enabled: true}
+	ded := cfg
+	ded.Prefetch = sim.SMS1K11
+	pv := cfg
+	pv.Prefetch = sim.PV8
+	dsys, psys := sim.NewSystem(ded), sim.NewSystem(pv)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			dsys.Reset()
+			psys.Reset()
+		}
+		dres, pres := dsys.Run(), psys.Run()
+		b.ReportMetric(pres.Cost.SlowdownOver(dres.Cost), "pv8-slowdown-x")
+		pt := pres.ProxyTotals()
+		b.ReportMetric(pt.HitRate()*100, "pvcache-hit-%")
 	}
 }
 

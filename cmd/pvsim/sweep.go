@@ -26,6 +26,7 @@ func runSweep(args []string, stdout io.Writer) error {
 	seeds := fs.String("seeds", "", "comma-separated workload seeds (default: 42; 0 is a real seed)")
 	scale := fs.Float64("scale", 1.0, "access-count multiplier")
 	timing := fs.Bool("timing", false, "enable the IPC model (adds IPC and speedup columns)")
+	cost := fs.Bool("cost", false, "enable the passive cycle-approximate cost model (adds Cycles/CPA/SpdProxy columns; perturbs nothing)")
 	gridFile := fs.String("grid", "", "JSON grid description file (overrides the grid flags)")
 	format := fs.String("format", "text", "output format: text|md|csv|json (json = structured rows)")
 	outFile := fs.String("o", "", "output file (default stdout)")
@@ -58,6 +59,7 @@ func runSweep(args []string, stdout io.Writer) error {
 			PhaseFlush: *phaseFlush,
 			Scale:      *scale,
 			Timing:     *timing,
+			Cost:       *cost,
 		}
 		for _, s := range splitList(*pvcache) {
 			n, err := strconv.Atoi(s)

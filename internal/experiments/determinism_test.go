@@ -65,6 +65,17 @@ const goldenDigest = "367382e37bfe4313d40531b8915e2c3545b54cc6510e3cca787bb9c3e6
 //	go run ./cmd/pvsim -scale 0.0025 -seed 42 mixes | sha256sum
 const goldenMixesDigest = "4dfe76b61c8704ccae86539984349089bc573d7b3d395ac6aad3361954d1b37f"
 
+// goldenTimingDigest pins the rendered text of `pvsim -scale 0.0025 -seed
+// 42 timing`, captured when the cycle-approximate cost model landed. The
+// timing experiment folds the same functional outcome streams the pinned
+// coverage experiments run, so this digest holds the whole cost model —
+// per-level demand costs, PVCache hit/miss penalties, MSHR stalls and the
+// PV bandwidth term — to byte stability. Re-capture after an intentional
+// behaviour change with:
+//
+//	go run ./cmd/pvsim -scale 0.0025 -seed 42 timing | sha256sum
+const goldenTimingDigest = "cea5780dbd8a47243e78feaafdb990ad58377fae0853695101aabb7b1b802458"
+
 // TestGoldenReportDigest re-renders the pinned experiment sets and
 // compares the byte streams against their captures: the pre-pv-refactor
 // set — SMS dedicated/infinite sweeps (fig4), both stride forms (stride),
@@ -94,6 +105,9 @@ func TestGoldenReportDigest(t *testing.T) {
 	}
 	if got := digest("mixes"); got != goldenMixesDigest {
 		t.Fatalf("mixes report text diverged from its capture:\n got %s\nwant %s\n(run the pvsim command in the goldenMixesDigest comment to inspect)", got, goldenMixesDigest)
+	}
+	if got := digest("timing"); got != goldenTimingDigest {
+		t.Fatalf("timing report text diverged from its capture:\n got %s\nwant %s\n(run the pvsim command in the goldenTimingDigest comment to inspect)", got, goldenTimingDigest)
 	}
 }
 

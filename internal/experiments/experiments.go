@@ -309,7 +309,7 @@ func All() []Experiment {
 		"table1": 0, "table2": 1, "table3": 2,
 		"fig4": 3, "fig5": 4, "fig6": 5, "fig7": 6, "fig8": 7,
 		"fig9": 8, "fig10": 9, "fig11": 10, "space": 11, "ablations": 12, "stride": 13,
-		"btb": 14, "mixes": 15,
+		"btb": 14, "mixes": 15, "timing": 16,
 	}
 	out := make([]Experiment, 0, len(registry))
 	for _, e := range registry {

@@ -14,7 +14,7 @@ func tinyRunner() *Runner {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "space", "ablations", "stride", "btb", "mixes"}
+	want := []string{"table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "space", "ablations", "stride", "btb", "mixes", "timing"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
@@ -201,6 +201,20 @@ func TestAblationsDocument(t *testing.T) {
 	for _, want := range []string{"PVCache size", "On-chip-only", "Shared vs per-core", "arbitration"} {
 		if !strings.Contains(txt, want) {
 			t.Errorf("ablations missing %q", want)
+		}
+	}
+}
+
+func TestTimingDocument(t *testing.T) {
+	txt := mustRun(t, "timing").Text()
+	for _, want := range []string{"1K-11a", "PV-4", "PV-8", "PV-16", "PV-32", "oltp-web", "ctx-fast", "AVG", "slowdown", "x"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("timing missing %q:\n%s", want, txt)
+		}
+	}
+	for _, w := range workloads.Names() {
+		if !strings.Contains(txt, w) {
+			t.Errorf("timing missing workload %s", w)
 		}
 	}
 }

@@ -170,6 +170,10 @@ func StackedBar(fullScale float64, width int, segments []float64, runes []rune) 
 // Pct formats a fraction as a percentage ("43.2%").
 func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
 
+// Ratio formats a multiplicative factor ("1.0234x") — the slowdown and
+// speedup columns of the timing experiment and cost-model sweeps.
+func Ratio(f float64) string { return fmt.Sprintf("%.4fx", f) }
+
 // PctDelta formats a fractional change ("+3.2%").
 func PctDelta(f float64) string { return fmt.Sprintf("%+.2f%%", f*100) }
 

@@ -96,6 +96,12 @@ func TestPctFormats(t *testing.T) {
 	if PctDelta(0.032) != "+3.20%" {
 		t.Errorf("PctDelta = %q", PctDelta(0.032))
 	}
+	if Ratio(1.02339) != "1.0234x" {
+		t.Errorf("Ratio = %q", Ratio(1.02339))
+	}
+	if Ratio(1) != "1.0000x" {
+		t.Errorf("Ratio(1) = %q", Ratio(1))
+	}
 }
 
 func TestDocRendering(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pvsim/internal/memsys"
+	"pvsim/internal/timing"
 	"pvsim/internal/trace"
 	"pvsim/internal/workloads"
 	"pvsim/pv"
@@ -108,6 +109,17 @@ type Config struct {
 	// sampling windows for confidence intervals.
 	Timing  bool
 	Windows int
+
+	// Cost enables the passive cycle-approximate cost model
+	// (internal/timing): a pure fold over the access/outcome stream that
+	// accumulates per-core cycle counts — including PVCache hit/miss and
+	// MSHR-stall penalties for virtualized predictors — without perturbing
+	// the simulation. The zero value disables it and is bit-identical to
+	// the pre-cost-model simulator; enabling it changes no access, no
+	// predictor decision and no coverage number (pinned by
+	// TestTimingDisabledBitIdentical). Independent of Timing: a functional
+	// run can account costs, and a Timing run can skip them.
+	Cost timing.Config
 }
 
 // DefaultScale is the per-core measured access count experiments default
@@ -154,6 +166,17 @@ func (c Config) Validate() error {
 	}
 	if err := c.Prefetch.Validate(); err != nil {
 		return err
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if c.Cost.Enabled && !c.Cost.Params.Enabled() {
+		// Zero Params mean "derive from the hierarchy" at build time;
+		// validate the derivation here so an unusual hierarchy (e.g. memory
+		// faster than the L2) errors instead of panicking in NewSystem.
+		if err := timing.DefaultParams(c.Hier).Validate(); err != nil {
+			return fmt.Errorf("sim: deriving cost-model params from the hierarchy: %w", err)
+		}
 	}
 	// pv.TableStart spaces per-core PVTables 1MB apart, which bounds a
 	// virtualized table at Sets x block bytes <= 1MB; a larger table would

@@ -5,6 +5,7 @@ import (
 	"pvsim/internal/cpu"
 	"pvsim/internal/memsys"
 	"pvsim/internal/stats"
+	"pvsim/internal/timing"
 	"pvsim/pv"
 )
 
@@ -36,6 +37,13 @@ type Result struct {
 	Cycles    float64 // max across cores (total elapsed)
 	IPC       float64 // aggregate: total instructions / elapsed cycles
 	WindowIPC []float64
+
+	// Cost is the cycle-approximate cost model's accounting for the
+	// measured phase — per-core cycle counters with the PVCache hit/miss
+	// and MSHR-stall penalties broken out, next to the generic predictor
+	// stats above. Zero (Cost.Enabled() == false) unless Config.Cost
+	// enabled the model.
+	Cost timing.Report
 }
 
 // L1DReadMisses sums demand read misses across cores.
@@ -164,6 +172,7 @@ func (sys *System) Run() Result {
 	}
 
 	res := Result{Config: cfg, WindowIPC: windowIPC}
+	sys.foldPVResidual()    // attribute trailing cross-core proxy work
 	collectStats(sys, &res) // fills Mem with a deep copy
 	if cfg.Timing {
 		snapshotsInto(sys, sys.snapCur)
@@ -188,6 +197,9 @@ func (sys *System) Run() Result {
 func collectStats(sys *System, res *Result) {
 	res.Mem = sys.Hier.Stats
 	res.Mem.Core = append([]memsys.CoreStats(nil), sys.Hier.Stats.Core...)
+	if sys.tm != nil {
+		res.Cost = sys.tm.Report() // deep copy: Report clones the counters
+	}
 	if !sys.cfg.Prefetch.Enabled() {
 		return
 	}

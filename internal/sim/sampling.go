@@ -98,6 +98,7 @@ func RunSMARTS(cfg Config, plan SMARTSConfig) Result {
 	if maxCycles > 0 {
 		res.IPC = totalInstr / maxCycles
 	}
+	sys.foldPVResidual() // attribute trailing cross-core proxy work
 	collectStats(sys, &res)
 	return res
 }

@@ -26,7 +26,19 @@ func (c Config) Signature() string {
 		c.Timing, c.Windows,
 		c.Hier.L2.SizeBytes, c.Hier.L2.TagLatency, c.Hier.L2.DataLatency,
 		c.Hier.MemLatency, c.Prefetch.OnChipOnly, c.Prefetch.SharedTable,
-		c.Hier.Cores, c.Hier.PrioritizeAppOverPV, c.Hier.L2Banks) + c.scenarioSig()
+		c.Hier.Cores, c.Hier.PrioritizeAppOverPV, c.Hier.L2Banks) + c.scenarioSig() + c.costSig()
+}
+
+// costSig renders the cost-model configuration into the signature: empty
+// when disabled (keeping every pre-cost-model signature byte-identical),
+// otherwise the full parameter set. The cost model never changes what is
+// simulated, but it changes what a Result carries, and a cached Result
+// must carry what its configuration asked for.
+func (c Config) costSig() string {
+	if !c.Cost.Enabled {
+		return ""
+	}
+	return fmt.Sprintf("|cost=%+v", c.Cost.Params)
 }
 
 // scenarioSig renders the per-core trace assignment into the signature:

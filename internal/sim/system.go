@@ -7,6 +7,7 @@ import (
 	pvcore "pvsim/internal/core"
 	"pvsim/internal/cpu"
 	"pvsim/internal/memsys"
+	"pvsim/internal/timing"
 	"pvsim/internal/trace"
 	"pvsim/pv"
 )
@@ -41,6 +42,17 @@ type System struct {
 	// reuses across measurement windows (and across runs on a reused
 	// system), so windowed timing collection allocates nothing.
 	snapStart, snapPrev, snapCur []cpu.Snapshot
+
+	// tm is the passive cost model (nil unless cfg.Cost.Enabled). It folds
+	// each step's outcome — demand/fetch serving levels plus the per-core
+	// PVProxy counter movement since the core's previous step — into cycle
+	// accumulators, without feeding anything back into the simulation.
+	// proxyLive holds each core's live PVProxy statistics pointer (nil for
+	// dedicated/baseline cores) and prevProxy the snapshot the next delta
+	// is taken against; both are fixed-size, so the fold allocates nothing.
+	tm        *timing.Model
+	proxyLive []*pvcore.ProxyStats
+	prevProxy []pvcore.ProxyStats
 
 	// detail gates timing accounting; RunSMARTS turns it off during
 	// functional fast-forward gaps. Plain Run leaves it on throughout.
@@ -95,6 +107,15 @@ func NewSystem(cfg Config) *System {
 		snapStart: make([]cpu.Snapshot, n),
 		snapPrev:  make([]cpu.Snapshot, n),
 		snapCur:   make([]cpu.Snapshot, n),
+	}
+	if cfg.Cost.Enabled {
+		params := cfg.Cost.Params
+		if !params.Enabled() {
+			params = timing.DefaultParams(hcfg)
+		}
+		sys.tm = timing.NewModel(params, n)
+		sys.proxyLive = make([]*pvcore.ProxyStats, n)
+		sys.prevProxy = make([]pvcore.ProxyStats, n)
 	}
 
 	var builder pv.Builder
@@ -158,6 +179,11 @@ func NewSystem(cfg Config) *System {
 			panic(err)
 		}
 		sys.preds[c] = inst
+		if sys.tm != nil {
+			if v, ok := inst.(pv.Virtualizable); ok {
+				sys.proxyLive[c] = v.ProxyStats() // nil when dedicated
+			}
+		}
 		c := c
 		sys.Hier.SetL1DEvictHook(c, func(addr memsys.Addr, _ memsys.EvictCause) {
 			inst.OnEvict(sys.clock[c], addr)
@@ -167,8 +193,14 @@ func NewSystem(cfg Config) *System {
 			// state — engine, tables, and (virtualized) the backing PVTable —
 			// at every phase edge. pv/pvtest pins that a Reset instance is
 			// bit-identical to a fresh one, so the flush is exactly a cold
-			// start.
-			phased.SetEdgeHook(func(int) { inst.Reset() })
+			// start. The cost fold attributes the core's un-folded proxy
+			// movement first (Reset destroys the counters) and rebases its
+			// snapshot after, so flush-run cost accounting stays exact.
+			phased.SetEdgeHook(func(int) {
+				sys.foldPVResidualCore(c)
+				inst.Reset()
+				sys.rebaseProxySnapshot(c)
+			})
 		}
 	}
 
@@ -203,8 +235,65 @@ func (s *System) Core(c int) *cpu.Core { return s.cores[c] }
 func (s *System) Clock(c int) uint64 { return s.clock[c] }
 
 // SetDetail toggles detailed timing accounting (RunSMARTS uses it to
-// fast-forward functionally between samples).
+// fast-forward functionally between samples). The cost fold is not
+// affected: it observes every step regardless of detail mode.
 func (s *System) SetDetail(on bool) { s.detail = on }
+
+// CostModel exposes the passive cost model (nil when cfg.Cost is
+// disabled); tests and live dashboards read it mid-run.
+func (s *System) CostModel() *timing.Model { return s.tm }
+
+// foldPVResidual folds proxy movement not yet attributed to any step:
+// work triggered on core c's proxy after c's own last step of the run
+// (e.g. an invalidation from a later core in the final round). Run calls
+// it before collecting stats so the fold's totals conserve exactly against
+// the final ProxyStats counters (internal/simtest pins this).
+func (s *System) foldPVResidual() {
+	if s.tm == nil {
+		return
+	}
+	for c := range s.prevProxy {
+		s.foldPVResidualCore(c)
+	}
+}
+
+// foldPVResidualCore folds one core's proxy movement since its snapshot;
+// the phase-edge flush hook calls it before Instance.Reset destroys the
+// counters.
+func (s *System) foldPVResidualCore(c int) {
+	if s.tm == nil {
+		return
+	}
+	if live := s.proxyLive[c]; live != nil {
+		cur := *live
+		s.tm.OnPV(c, timing.PVDelta(s.prevProxy[c], cur))
+		s.prevProxy[c] = cur
+	}
+}
+
+// rebaseProxySnapshot re-bases one core's delta snapshot on the live
+// counters (zero right after an Instance.Reset).
+func (s *System) rebaseProxySnapshot(c int) {
+	if s.tm == nil {
+		return
+	}
+	if live := s.proxyLive[c]; live != nil {
+		s.prevProxy[c] = *live
+	} else {
+		s.prevProxy[c] = pvcore.ProxyStats{}
+	}
+}
+
+// resyncProxySnapshots re-bases every core's PVProxy delta snapshot on the
+// live counters, so the next fold step observes only its own movement.
+func (s *System) resyncProxySnapshots() {
+	if s.tm == nil {
+		return
+	}
+	for c := range s.prevProxy {
+		s.rebaseProxySnapshot(c)
+	}
+}
 
 // Step advances core c by one memory instruction: instruction fetch, demand
 // access, timing accounting and predictor training.
@@ -237,6 +326,23 @@ func (s *System) Step(c int) {
 	if p := s.preds[c]; p != nil {
 		p.OnAccess(s.clock[c], acc.PC, acc.Addr)
 	}
+
+	if s.tm != nil {
+		// The passive cost fold: demand/fetch outcomes by serving level,
+		// plus this core's PVProxy counter movement since its previous
+		// step (which also captures proxy work triggered from other cores'
+		// steps via eviction/invalidation hooks — it is this core's proxy).
+		// Unlike the IPC model it is not gated on s.detail: every step
+		// computes its outcome either way, and folding them all keeps the
+		// fold exactly conserving against the proxy counters even under
+		// SMARTS fast-forward (internal/simtest pins the equality).
+		s.tm.OnAccess(c, fres.Level, res.Level)
+		if live := s.proxyLive[c]; live != nil {
+			cur := *live
+			s.tm.OnPV(c, timing.PVDelta(s.prevProxy[c], cur))
+			s.prevProxy[c] = cur
+		}
+	}
 }
 
 // pruneInflight drops completed prefetch records to bound memory.
@@ -267,6 +373,10 @@ func (s *System) ResetStats() {
 			p.ResetStats()
 		}
 	}
+	if s.tm != nil {
+		s.tm.Reset()
+		s.resyncProxySnapshots() // proxy counters just went to zero
+	}
 }
 
 // Reset returns the whole system to its post-construction state in place —
@@ -287,6 +397,10 @@ func (s *System) Reset() {
 			// sharing every core resets the same table, which is idempotent.
 			s.preds[c].Reset()
 		}
+	}
+	if s.tm != nil {
+		s.tm.Reset()
+		s.resyncProxySnapshots()
 	}
 	s.detail = true
 }

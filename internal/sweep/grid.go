@@ -9,6 +9,7 @@ import (
 
 	"pvsim/internal/experiments"
 	"pvsim/internal/sim"
+	"pvsim/internal/timing"
 	"pvsim/internal/workloads"
 	"pvsim/pv"
 )
@@ -49,6 +50,12 @@ type Grid struct {
 	// Timing enables the IPC model (20 sampling windows, like the paper's
 	// timing figures); rows then carry IPC and speedup-vs-baseline.
 	Timing bool `json:"timing,omitempty"`
+	// Cost enables the passive cycle-approximate cost model
+	// (internal/timing) on every job and matched baseline; rows then carry
+	// modeled cycles, cycles-per-access and a cost-model speedup over the
+	// baseline. Unlike Timing it perturbs nothing: coverage columns are
+	// byte-identical with and without it.
+	Cost bool `json:"cost,omitempty"`
 }
 
 // Job is one expanded grid point: the exact sim.Config it runs plus the
@@ -262,6 +269,9 @@ func (g Grid) baselineConfig(sc scenario, seed uint64) (sim.Config, error) {
 	if g.Timing {
 		cfg.Timing = true
 		cfg.Windows = 20
+	}
+	if g.Cost {
+		cfg.Cost = timing.Config{Enabled: true}
 	}
 	return cfg, nil
 }

@@ -33,6 +33,13 @@ type Row struct {
 	// Timing grids only.
 	IPC     float64 `json:"ipc,omitempty"`
 	Speedup float64 `json:"speedup,omitempty"` // vs the matched baseline, matched-pair mean
+
+	// Cost grids only (Grid.Cost): the cost model's elapsed cycles,
+	// cycles per access, and modeled speedup over the matched baseline
+	// (baseline cycles / job cycles; >1 = prefetching helps).
+	Cycles       uint64  `json:"cycles,omitempty"`
+	CPA          float64 `json:"cpa,omitempty"`
+	SpeedupProxy float64 `json:"speedup_proxy,omitempty"`
 }
 
 // Result is one finished sweep: the normalized grid it ran, its hash, and
@@ -74,6 +81,11 @@ func rowFor(j Job, base, res sim.Result) Row {
 			row.Speedup = iv.Mean
 		}
 	}
+	if j.Config.Cost.Enabled {
+		row.Cycles = res.Cost.ElapsedCycles()
+		row.CPA = res.Cost.CPA()
+		row.SpeedupProxy = base.Cost.SlowdownOver(res.Cost)
+	}
 	return row
 }
 
@@ -87,6 +99,9 @@ func (r *Result) Doc() *report.Doc {
 	headers := []string{"Job", "Seed", "Workload", "Config", "PVCache", "Covered", "Uncovered", "Overpred", "MissRate"}
 	if r.Grid.Timing {
 		headers = append(headers, "IPC", "Speedup")
+	}
+	if r.Grid.Cost {
+		headers = append(headers, "Cycles", "CPA", "SpdProxy")
 	}
 	t := report.NewTable(headers...)
 	for _, row := range r.Rows {
@@ -110,6 +125,12 @@ func (r *Result) Doc() *report.Doc {
 				fmt.Sprintf("%.4f", row.IPC),
 				fmt.Sprintf("%.4f", row.Speedup))
 		}
+		if r.Grid.Cost {
+			cells = append(cells,
+				fmt.Sprintf("%d", row.Cycles),
+				fmt.Sprintf("%.4f", row.CPA),
+				report.Ratio(row.SpeedupProxy))
+		}
 		t.AddRow(cells...)
 	}
 	doc := &report.Doc{
@@ -119,6 +140,9 @@ func (r *Result) Doc() *report.Doc {
 	mixes := ""
 	if len(r.Grid.Mixes) > 0 {
 		mixes = fmt.Sprintf(" mixes=%v phase_flush=%v", r.Grid.Mixes, r.Grid.PhaseFlush)
+	}
+	if r.Grid.Cost {
+		mixes += " cost=true"
 	}
 	doc.Add(report.Section{
 		Table: t,

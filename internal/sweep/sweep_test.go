@@ -3,6 +3,7 @@ package sweep
 import (
 	"bytes"
 	"context"
+	"strings"
 	"sync"
 	"testing"
 
@@ -242,6 +243,61 @@ func TestSweepTimingParallelDeterminism(t *testing.T) {
 	}
 	if a, b := run(1), run(8); a != b {
 		t.Fatalf("timing sweep diverges across parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestSweepCostParallelDeterminism repeats the byte-identity guarantee
+// for a cost-model grid across PVCache sizes and a mix: the timing fold
+// is deterministic per job, and merging in expansion order keeps the
+// Cycles/CPA/SpdProxy columns byte-identical at any parallelism.
+func TestSweepCostParallelDeterminism(t *testing.T) {
+	g := Grid{
+		Specs:     []string{"1K-11a", "PV-8"},
+		Workloads: []string{"Apache"},
+		Mixes:     []string{"oltp-web"},
+		PVCache:   []int{4, 16},
+		Seeds:     []uint64{42},
+		Scale:     testScale,
+		Cost:      true,
+	}
+	run := func(parallel int) string {
+		res, err := New(Options{Parallel: parallel}).Run(context.Background(), g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := run(1), run(8)
+	if a != b {
+		t.Fatalf("cost sweep diverges across parallelism:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+	if !strings.Contains(a, "\"cycles\"") || !strings.Contains(a, "\"speedup_proxy\"") {
+		t.Fatalf("cost grid rows lack cycle columns:\n%s", a)
+	}
+
+	// The cost axis must not move a single coverage byte: the same grid
+	// without Cost renders identical coverage columns.
+	plain := g
+	plain.Cost = false
+	pres, err := New(Options{Parallel: 4}).Run(context.Background(), plain, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := New(Options{Parallel: 4}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pres.Rows {
+		pr, cr := pres.Rows[i], cres.Rows[i]
+		cr.Cycles, cr.CPA, cr.SpeedupProxy = 0, 0, 0
+		cr.Config = pr.Config // differs by design: the cost axis is part of the config hash
+		if pr != cr {
+			t.Fatalf("row %d coverage moved under the cost axis:\nplain: %+v\ncost:  %+v", i, pr, cr)
+		}
 	}
 }
 

@@ -1,0 +1,64 @@
+// Package timing is the cycle-approximate cost model: a pure fold over
+// the access/outcome stream the event-driven simulation already produces,
+// accumulating per-core and aggregate cycle counts without perturbing the
+// simulation in any way.
+//
+// The paper's headline claim is not only that virtualized predictors keep
+// their coverage, but that they keep it at near-dedicated *performance*:
+// PVCache hits hide the extra indirection, and the modest extra L2 traffic
+// (Figures 6–8) costs little. The functional simulator reports coverage
+// and miss rates; this package turns the same outcome stream into cycles,
+// so dedicated-vs-virtualized slowdown becomes measurable.
+//
+// Two timing facilities coexist and must not be confused:
+//
+//   - internal/cpu (driven by sim.Config.Timing) is the IPC model. It is
+//     *active*: it advances the per-core clocks, which enables L2 bank
+//     contention, prefetch-timeliness accounting and time-retired
+//     predictor structures. Turning it on changes simulated behaviour.
+//
+//   - internal/timing (driven by sim.Config.Cost) is *passive*: it only
+//     observes each access's outcome (serving level) and the PVProxy
+//     counter deltas, and folds them into cycle accumulators. Enabling it
+//     changes no access, no predictor decision, and no report digest —
+//     sim.Result is bit-identical apart from the Cost field itself
+//     (pinned by TestTimingDisabledBitIdentical).
+//
+// The fold is integer-only and per-access associative, so its totals are
+// byte-identical at any parallelism and on every platform, and it
+// allocates nothing on the hot path: the Model's accumulators are fixed
+// per-core structs sized at construction.
+//
+// Cost components per demand access:
+//
+//   - every access pays the L1 hit latency (the pipelined base cost);
+//   - an access served by the L2 or memory additionally stalls for the
+//     level's latency beyond L1, divided by MLPDiv (out-of-order overlap);
+//   - instruction fetches stall the front end the same way, divided by
+//     FetchDiv (branch prediction hides less than data MLP).
+//
+// Cost components per PVProxy event (virtualized predictors only):
+//
+//   - a PVCache hit costs PVHitCycles (default 0: the PVCache is
+//     dedicated-table-sized hardware, so a hit is exactly a dedicated
+//     table access — the paper's "hits hide the indirection");
+//   - a miss pays PVMissL2Cycles when the L2 filled it (the common case,
+//     >98% in the paper), PVMissMemCycles when it went off chip — by
+//     default the fetch round trip divided by the MLP overlap factor,
+//     since set fetches are asynchronous metadata traffic (see
+//     DefaultParams);
+//   - a miss that found every MSHR busy additionally pays
+//     MSHRStallCycles (occupancy stall);
+//   - every PV request that reaches the L2 — set fetches and dirty
+//     writebacks — pays PVL2BusCycles of bandwidth/arbitration cost,
+//     the "simple bandwidth term" for PV-induced L2 traffic.
+//
+// Invariants (checked by internal/simtest and FuzzTimingFold):
+//
+//   - Cycles() == BaseCycles + DemandStallCycles + FetchStallCycles +
+//     PVHitCycles + PVMissCycles + PVStallCycles + PVBusCycles, exactly;
+//   - Cycles() >= Accesses * L1HitCycles (every access pays at least the
+//     minimum latency);
+//   - the fold is monotone: observing more events never decreases any
+//     accumulator.
+package timing

@@ -1,0 +1,122 @@
+package timing
+
+import (
+	"testing"
+
+	"pvsim/internal/memsys"
+)
+
+// FuzzTimingFold feeds the cost-model fold arbitrary access/outcome
+// streams — raw bytes decoded into (core, fetch level, data level, PV
+// event) steps — and checks that the fold never panics and that its
+// totals conserve exactly:
+//
+//   - Cycles() is the exact sum of the component accumulators (checked by
+//     construction in Counters.Cycles, re-checked here against a shadow
+//     sum over the stream);
+//   - Cycles() >= Accesses * L1HitCycles — every access pays at least the
+//     minimum latency;
+//   - per-core counters sum to Report.Totals(), and the fold is monotone
+//     (no event ever decreases an accumulator).
+func FuzzTimingFold(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0xAA, 0x55, 0x10, 0x20, 0x30})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := DefaultParams(memsys.DefaultConfig())
+		// Perturb the constants from the stream head so the conservation
+		// laws are checked across parameterizations, not just the default.
+		if len(data) >= 3 {
+			p.MLPDiv = 1 + uint64(data[0]%8)
+			p.FetchDiv = 1 + uint64(data[1]%4)
+			p.PVHitCycles = uint64(data[2] % 4)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("perturbed params invalid: %v", err)
+		}
+		const cores = 4
+		m := NewModel(p, cores)
+
+		levels := [3]memsys.Level{memsys.LevelL1, memsys.LevelL2, memsys.LevelMem}
+		var wantAccesses [cores]uint64
+		prevCycles := uint64(0)
+		for i := 0; i+1 < len(data); i += 2 {
+			a, b := data[i], data[i+1]
+			core := int(a % cores)
+			if a&0x80 == 0 {
+				m.OnAccess(core, levels[int(b)%3], levels[int(b>>2)%3])
+				wantAccesses[core]++
+			} else {
+				m.OnPV(core, PVEvents{
+					Hits:       uint64(b & 0x0F),
+					MissesL2:   uint64(b >> 4),
+					MissesMem:  uint64(a & 0x03),
+					MSHRStalls: uint64(a>>2) & 0x03,
+					L2Requests: uint64(b % 5),
+				})
+			}
+			// Monotone: total cycles never decrease.
+			cur := m.Report().ElapsedCycles()
+			if cur < prevCycles {
+				t.Fatalf("fold went backwards: %d -> %d at step %d", prevCycles, cur, i/2)
+			}
+			prevCycles = cur
+		}
+
+		r := m.Report()
+		totals := r.Totals()
+		var sum Counters
+		for c := 0; c < cores; c++ {
+			cc := m.Core(c)
+			if cc.Accesses != wantAccesses[c] {
+				t.Fatalf("core %d folded %d accesses, stream had %d", c, cc.Accesses, wantAccesses[c])
+			}
+			// Conservation: every access pays at least the minimum latency.
+			if cc.Cycles() < cc.Accesses*p.L1HitCycles {
+				t.Fatalf("core %d: %d cycles < %d accesses x %d min-latency",
+					c, cc.Cycles(), cc.Accesses, p.L1HitCycles)
+			}
+			// Components sum exactly.
+			want := cc.BaseCycles + cc.DemandStallCycles + cc.FetchStallCycles +
+				cc.PVHitCycles + cc.PVMissCycles + cc.PVStallCycles + cc.PVBusCycles
+			if cc.Cycles() != want {
+				t.Fatalf("core %d: Cycles() %d != component sum %d", c, cc.Cycles(), want)
+			}
+			if cc.BaseCycles != cc.Accesses*p.L1HitCycles {
+				t.Fatalf("core %d: base %d != accesses %d x L1 %d", c, cc.BaseCycles, cc.Accesses, p.L1HitCycles)
+			}
+			sum.Accesses += cc.Accesses
+			sum.BaseCycles += cc.Cycles()
+		}
+		if totals.Accesses != sum.Accesses || totals.TotalCycles() != sum.BaseCycles {
+			t.Fatalf("Totals (%d acc, %d cyc) disagree with per-core sums (%d, %d)",
+				totals.Accesses, totals.TotalCycles(), sum.Accesses, sum.BaseCycles)
+		}
+		if r.ElapsedCycles() > totals.TotalCycles() {
+			t.Fatal("elapsed (max) exceeds total")
+		}
+
+		// Determinism: replaying the same stream folds to identical state.
+		m2 := NewModel(p, cores)
+		for i := 0; i+1 < len(data); i += 2 {
+			a, b := data[i], data[i+1]
+			core := int(a % cores)
+			if a&0x80 == 0 {
+				m2.OnAccess(core, levels[int(b)%3], levels[int(b>>2)%3])
+			} else {
+				m2.OnPV(core, PVEvents{
+					Hits:       uint64(b & 0x0F),
+					MissesL2:   uint64(b >> 4),
+					MissesMem:  uint64(a & 0x03),
+					MSHRStalls: uint64(a>>2) & 0x03,
+					L2Requests: uint64(b % 5),
+				})
+			}
+		}
+		for c := 0; c < cores; c++ {
+			if m.Core(c) != m2.Core(c) {
+				t.Fatalf("replay diverged on core %d: %+v vs %+v", c, m.Core(c), m2.Core(c))
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package timing
+
+import (
+	"testing"
+
+	"pvsim/internal/core"
+	"pvsim/internal/memsys"
+)
+
+func testParams() Params { return DefaultParams(memsys.DefaultConfig()) }
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := testParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enabled() {
+		t.Fatal("default params read as disabled")
+	}
+	if (Params{}).Enabled() {
+		t.Fatal("zero params read as enabled")
+	}
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatalf("zero params (disabled) must validate: %v", err)
+	}
+	// Table 1 numbers: 2-cycle L1, 6+12 L2, 400-cycle memory.
+	if p.L1HitCycles != 2 || p.L2HitCycles != 20 || p.MemCycles != 408 {
+		t.Errorf("derived latencies %d/%d/%d", p.L1HitCycles, p.L2HitCycles, p.MemCycles)
+	}
+}
+
+func TestParamsValidateRejectsBadShapes(t *testing.T) {
+	for _, bad := range []Params{
+		{L1HitCycles: 0, L2HitCycles: 20, MemCycles: 400, MLPDiv: 4, FetchDiv: 2},
+		{L1HitCycles: 30, L2HitCycles: 20, MemCycles: 400, MLPDiv: 4, FetchDiv: 2},
+		{L1HitCycles: 2, L2HitCycles: 20, MemCycles: 10, MLPDiv: 4, FetchDiv: 2},
+		{L1HitCycles: 2, L2HitCycles: 20, MemCycles: 400, MLPDiv: 0, FetchDiv: 2},
+		{L1HitCycles: 2, L2HitCycles: 20, MemCycles: 400, MLPDiv: 4, FetchDiv: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("params %+v accepted", bad)
+		}
+	}
+}
+
+func TestFoldAccessCosts(t *testing.T) {
+	p := testParams()
+	m := NewModel(p, 2)
+
+	// An all-L1 access costs exactly the base latency.
+	m.OnAccess(0, memsys.LevelL1, memsys.LevelL1)
+	if got := m.Core(0).Cycles(); got != p.L1HitCycles {
+		t.Errorf("L1/L1 access cost %d, want %d", got, p.L1HitCycles)
+	}
+
+	// An access served by memory adds the overlapped stall.
+	m.OnAccess(0, memsys.LevelL1, memsys.LevelMem)
+	want := 2*p.L1HitCycles + (p.MemCycles-p.L1HitCycles)/p.MLPDiv
+	if got := m.Core(0).Cycles(); got != want {
+		t.Errorf("after mem access: %d cycles, want %d", got, want)
+	}
+
+	// A fetch miss stalls the front end, divided by FetchDiv.
+	m.OnAccess(1, memsys.LevelL2, memsys.LevelL1)
+	want = p.L1HitCycles + (p.L2HitCycles-p.L1HitCycles)/p.FetchDiv
+	if got := m.Core(1).Cycles(); got != want {
+		t.Errorf("fetch L2 miss: %d cycles, want %d", got, want)
+	}
+	if m.Core(1).Accesses != 1 || m.Core(1).Fetches != 1 {
+		t.Errorf("core 1 counters %+v", m.Core(1))
+	}
+}
+
+func TestFoldPVCosts(t *testing.T) {
+	p := testParams()
+	p.PVHitCycles = 1 // make the hit term observable
+	m := NewModel(p, 1)
+	m.OnPV(0, PVEvents{Hits: 10, MissesL2: 3, MissesMem: 1, MSHRStalls: 2, L2Requests: 5, Invalidated: 4})
+	c := m.Core(0)
+	if c.PVLookups != 14 || c.PVMisses != 4 || c.PVStalls != 2 || c.PVInvalidations != 4 {
+		t.Errorf("counters %+v", c)
+	}
+	if c.PVHitCycles != 10*p.PVHitCycles {
+		t.Errorf("hit cycles %d", c.PVHitCycles)
+	}
+	if c.PVMissCycles != 3*p.PVMissL2Cycles+1*p.PVMissMemCycles {
+		t.Errorf("miss cycles %d", c.PVMissCycles)
+	}
+	if c.PVStallCycles != 2*p.MSHRStallCycles {
+		t.Errorf("stall cycles %d", c.PVStallCycles)
+	}
+	if c.PVBusCycles != 5*p.PVL2BusCycles {
+		t.Errorf("bus cycles %d", c.PVBusCycles)
+	}
+	if got := c.PVOverheadCycles(); got != c.PVHitCycles+c.PVMissCycles+c.PVStallCycles+c.PVBusCycles {
+		t.Errorf("overhead %d does not sum components", got)
+	}
+}
+
+func TestPVDelta(t *testing.T) {
+	prev := core.ProxyStats{Hits: 5, FilledByL2: 2, FilledByMem: 1, MSHRStalls: 1, Fetches: 3, Writebacks: 1, Invalidations: 0}
+	cur := core.ProxyStats{Hits: 9, FilledByL2: 4, FilledByMem: 1, MSHRStalls: 2, Fetches: 5, Writebacks: 2, Invalidations: 1}
+	d := PVDelta(prev, cur)
+	want := PVEvents{Hits: 4, MissesL2: 2, MissesMem: 0, MSHRStalls: 1, L2Requests: 3, Invalidated: 1}
+	if d != want {
+		t.Errorf("delta %+v, want %+v", d, want)
+	}
+	if (PVDelta(cur, cur) != PVEvents{}) {
+		t.Error("self-delta not zero")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	p := testParams()
+	m := NewModel(p, 2)
+	for i := 0; i < 10; i++ {
+		m.OnAccess(0, memsys.LevelL1, memsys.LevelL1)
+	}
+	for i := 0; i < 5; i++ {
+		m.OnAccess(1, memsys.LevelL1, memsys.LevelMem)
+	}
+	r := m.Report()
+	if !r.Enabled() {
+		t.Fatal("report of a live model reads disabled")
+	}
+	if got := r.Totals().Accesses; got != 15 {
+		t.Errorf("total accesses %d", got)
+	}
+	if r.ElapsedCycles() != r.Core[1].Cycles() {
+		t.Errorf("elapsed %d, want slow core's %d", r.ElapsedCycles(), r.Core[1].Cycles())
+	}
+	if r.IPCProxy() <= 0 || r.CPA() <= 0 {
+		t.Errorf("IPCProxy %v CPA %v", r.IPCProxy(), r.CPA())
+	}
+	// Slowdown of a run over itself is exactly 1.
+	if s := r.SlowdownOver(r); s != 1 {
+		t.Errorf("self-slowdown %v", s)
+	}
+	if (Report{}).Enabled() {
+		t.Error("zero report reads enabled")
+	}
+	if (Report{}).IPCProxy() != 0 || (Report{}).CPA() != 0 || r.SlowdownOver(Report{}) != 0 {
+		t.Error("zero-report aggregates must be 0")
+	}
+
+	// The report is a deep copy: further folding must not move it.
+	before := r.Totals().Accesses
+	m.OnAccess(0, memsys.LevelL1, memsys.LevelL1)
+	if r.Totals().Accesses != before {
+		t.Error("report aliases live model state")
+	}
+}
+
+func TestModelReset(t *testing.T) {
+	m := NewModel(testParams(), 2)
+	m.OnAccess(0, memsys.LevelMem, memsys.LevelMem)
+	m.OnPV(1, PVEvents{Hits: 3, MissesL2: 1, L2Requests: 1})
+	m.Reset()
+	for c := 0; c < m.Cores(); c++ {
+		if (m.Core(c) != Counters{}) {
+			t.Errorf("core %d not zeroed: %+v", c, m.Core(c))
+		}
+	}
+}
+
+func TestNewModelPanicsOnBadParams(t *testing.T) {
+	for _, p := range []Params{{}, {L1HitCycles: 2, L2HitCycles: 1, MemCycles: 400, MLPDiv: 4, FetchDiv: 2}} {
+		p := p
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewModel(%+v) did not panic", p)
+				}
+			}()
+			NewModel(p, 1)
+		}()
+	}
+}
