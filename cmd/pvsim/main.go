@@ -8,6 +8,7 @@
 //	pvsim [flags] all                  # run everything, in paper order
 //	pvsim sweep [sweep flags]          # run a spec x workload x pvcache x seed grid
 //	pvsim serve [serve flags]          # sweep service: submit/poll/fetch over HTTP
+//	pvsim mc [mc flags]                # model-check the sweep pool and PVProxy state machine
 //
 // Flags (experiments):
 //
@@ -18,7 +19,8 @@
 //	-v          log per-run progress to stderr
 //	-p n        max parallel simulations (default GOMAXPROCS)
 //
-// `pvsim sweep -h` and `pvsim serve -h` describe the subcommand flags; the
+// `pvsim sweep -h`, `pvsim serve -h` and `pvsim mc -h` describe the
+// subcommand flags; the
 // sweep grid comes from -specs/-workloads/-pvcache/-seeds flags or a -grid
 // JSON file, and sweep output at any -p is byte-identical to -p 1.
 //
@@ -58,6 +60,8 @@ func run(args []string, stdout io.Writer) error {
 			return runSweep(args[1:], stdout)
 		case "serve":
 			return runServe(args[1:], stdout)
+		case "mc":
+			return runMC(args[1:], stdout)
 		}
 	}
 
@@ -116,7 +120,7 @@ func run(args []string, stdout io.Writer) error {
 			for _, e := range experiments.All() {
 				ids = append(ids, e.ID)
 			}
-		case "sweep", "serve":
+		case "sweep", "serve", "mc":
 			// Reached via `pvsim -p 4 sweep ...`: flag parsing stopped at the
 			// subcommand word, so the leading flags never reached it. Point
 			// at the right invocation instead of "unknown experiment".

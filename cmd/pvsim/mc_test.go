@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestMCCommandSmall runs both explorers on small geometries through the
+// CLI and checks the explored counts are printed — the CI mc job's
+// contract, at a size quick enough for the unit suite.
+func TestMCCommandSmall(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"mc", "-jobs", "2", "-workers", "2", "-accesses", "5"}, &out)
+	if err != nil {
+		t.Fatalf("pvsim mc failed: %v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"mc schedules:", "mc schedules+cancel:", "mc states:", "quiescent paths"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "explored 0") {
+		t.Errorf("an explorer explored nothing:\n%s", got)
+	}
+}
+
+// TestMCCommandBudget pins the truncation report: a tiny budget must cut
+// the state explorer short and say so, without failing the run.
+func TestMCCommandBudget(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"mc", "-jobs", "1", "-workers", "1", "-nocancel", "-budget", "10"}, &out)
+	if err != nil {
+		t.Fatalf("pvsim mc failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "budget 10 exhausted") {
+		t.Errorf("truncation not reported:\n%s", out.String())
+	}
+}
+
+// TestMCCommandReplay drives the replay entry points with seeds: a benign
+// state path passes, and a seed that diverges from any enabled event
+// errors instead of exploring something else.
+func TestMCCommandReplay(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"mc", "-replay-state", "0,0,0"}, &out); err != nil {
+		t.Fatalf("benign state replay failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "passed") || !strings.Contains(out.String(), "acc[0]") {
+		t.Errorf("replay output unexpected:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"mc", "-replay-state", "99"}, &out); err == nil {
+		t.Fatal("divergent seed accepted")
+	}
+	out.Reset()
+	if err := run([]string{"mc", "-replay-schedule", "0,0", "-jobs", "1", "-workers", "1"}, &out); err != nil {
+		t.Fatalf("benign schedule replay failed: %v\noutput:\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"mc", "-replay-state", "1,x"}, &out); err == nil {
+		t.Fatal("malformed seed accepted")
+	}
+}
+
+// TestMCCommandRejectsLateSubcommand pins the helpful error for
+// `pvsim -v mc` (flags before the subcommand word).
+func TestMCCommandRejectsLateSubcommand(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-v", "mc"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "subcommand") {
+		t.Fatalf("late subcommand error = %v", err)
+	}
+}

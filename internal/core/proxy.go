@@ -327,6 +327,31 @@ func (p *Proxy[S]) Resident() int {
 	return n
 }
 
+// EntryState is the bookkeeping of one PVCache slot, exposed for
+// introspection (model checking, debugging). The decoded payload itself is
+// not included: it is reachable through the backing table, and state-space
+// exploration wants the small canonical control state only.
+type EntryState struct {
+	Set     int
+	Valid   bool
+	Dirty   bool
+	LastUse uint64
+	ReadyAt uint64
+}
+
+// Snapshot returns the control state of every PVCache slot, in slot order.
+// It is a pure observer: no statistics move, no recency updates. The
+// internal/mc state explorer hashes snapshots to prune its DFS; tests use
+// them to assert replacement decisions.
+func (p *Proxy[S]) Snapshot() []EntryState {
+	out := make([]EntryState, len(p.entries))
+	for i := range p.entries {
+		e := &p.entries[i]
+		out[i] = EntryState{Set: e.set, Valid: e.valid, Dirty: e.dirty, LastUse: e.lastUse, ReadyAt: e.readyAt}
+	}
+	return out
+}
+
 // CheckInvariants verifies that no set index appears twice in the PVCache.
 func (p *Proxy[S]) CheckInvariants() error {
 	seen := make(map[int]bool, len(p.entries))

@@ -208,12 +208,91 @@ func (r *Runner) Run(cfg sim.Config) sim.Result {
 
 	r.opts.Log("run %s", key)
 	res := r.simulate(key, cfg)
+	r.storeResult(key, res)
+	return res
+}
+
+// CachedResult returns cfg's cached result, refreshing its recency on a
+// hit. Together with AcquireSystem/ReleaseSystem/StoreResult it decomposes
+// Run into its pool/cache transitions, so the sweep engine's sequenced
+// model-checking mode (internal/mc) drives exactly the code Run runs.
+func (r *Runner) CachedResult(cfg sim.Config) (sim.Result, bool) {
+	return r.cachedRun(cacheKey(cfg))
+}
+
+// StoreResult records cfg's finished result in the bounded result cache
+// (the step Run performs after simulating).
+func (r *Runner) StoreResult(cfg sim.Config, res sim.Result) {
+	r.storeResult(cacheKey(cfg), res)
+}
+
+func (r *Runner) storeResult(key string, res sim.Result) {
 	r.mu.Lock()
 	r.useTick++
 	r.cache[key] = &cachedResult{res: res, lastUse: r.useTick}
 	evictOldest(r.cache, r.opts.MaxResults)
 	r.mu.Unlock()
-	return res
+}
+
+// AcquireSystem claims cfg's pooled system — the pool-take transition of
+// simulate. A claimed retained system is Reset in place; a pool miss (or a
+// runner without KeepSystems) builds fresh. Pair every call with
+// ReleaseSystem after the system's Run.
+func (r *Runner) AcquireSystem(cfg sim.Config) *sim.System {
+	return r.acquireSystem(cacheKey(cfg), cfg)
+}
+
+func (r *Runner) acquireSystem(key string, cfg sim.Config) *sim.System {
+	var sys *sim.System
+	if r.opts.KeepSystems {
+		r.mu.Lock()
+		if e := r.systems[key]; e != nil {
+			sys = e.sys
+			delete(r.systems, key) // claim: concurrent runs of the same key build fresh
+		}
+		r.mu.Unlock()
+	}
+	if sys == nil {
+		return sim.NewSystem(cfg)
+	}
+	sys.Reset()
+	return sys
+}
+
+// ReleaseSystem returns a claimed system to the pool — the pool-put
+// transition of simulate, including the MaxSystems LRU eviction. Without
+// KeepSystems the system is simply dropped.
+func (r *Runner) ReleaseSystem(cfg sim.Config, sys *sim.System) {
+	r.releaseSystem(cacheKey(cfg), sys)
+}
+
+func (r *Runner) releaseSystem(key string, sys *sim.System) {
+	if !r.opts.KeepSystems {
+		return
+	}
+	r.mu.Lock()
+	r.useTick++
+	r.systems[key] = &retainedSystem{sys: sys, lastUse: r.useTick}
+	evictOldest(r.systems, r.opts.MaxSystems)
+	r.mu.Unlock()
+}
+
+// CheckPool verifies the system pool's structural invariants: occupancy
+// within the MaxSystems bound and no nil retained system. The sweep
+// schedule explorer asserts it after every explored schedule — including
+// cancelled ones — to prove scheduling can never corrupt the pool.
+func (r *Runner) CheckPool() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if max := r.opts.MaxSystems; max > 0 && len(r.systems) > max {
+		return fmt.Errorf("experiments: system pool holds %d systems, bound is %d", len(r.systems), max)
+	}
+	for key, e := range r.systems {
+		if e == nil || e.sys == nil {
+			return fmt.Errorf("experiments: system pool retains nil system under key %q", key)
+		}
+	}
+	return nil
 }
 
 // cachedRun looks a result up, refreshing its recency on a hit.
@@ -246,24 +325,9 @@ func (r *Runner) simulate(key string, cfg sim.Config) sim.Result {
 	if !r.opts.KeepSystems {
 		return sim.Run(cfg)
 	}
-	r.mu.Lock()
-	var sys *sim.System
-	if e := r.systems[key]; e != nil {
-		sys = e.sys
-		delete(r.systems, key) // claim: concurrent runs of the same key build fresh
-	}
-	r.mu.Unlock()
-	if sys == nil {
-		sys = sim.NewSystem(cfg)
-	} else {
-		sys.Reset()
-	}
+	sys := r.acquireSystem(key, cfg)
 	res := sys.Run()
-	r.mu.Lock()
-	r.useTick++
-	r.systems[key] = &retainedSystem{sys: sys, lastUse: r.useTick}
-	evictOldest(r.systems, r.opts.MaxSystems)
-	r.mu.Unlock()
+	r.releaseSystem(key, sys)
 	return res
 }
 

@@ -1,0 +1,148 @@
+package mc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// chooser makes one run's worth of decisions: it replays a forced prefix,
+// defaults to choice 0 past the prefix, and records the trail, the width
+// of every decision and a rendered label per choice — enough to both
+// enumerate sibling runs and print a replayable counterexample.
+type chooser struct {
+	prefix []int
+	trail  []int
+	widths []int
+	trace  []string
+}
+
+// Choose picks one of n options. It panics if a replayed prefix choice is
+// out of range, which would mean the run diverged from the recorded one —
+// enumeration and replay both rely on runs being deterministic functions
+// of the trail.
+func (c *chooser) Choose(n int, label func(i int) string) int {
+	if n <= 0 {
+		panic("mc: Choose with no options")
+	}
+	pick := 0
+	if i := len(c.trail); i < len(c.prefix) {
+		pick = c.prefix[i]
+		if pick < 0 || pick >= n {
+			panic(fmt.Sprintf("mc: replay diverged: decision %d picks %d of %d options", i, pick, n))
+		}
+	}
+	c.trail = append(c.trail, pick)
+	c.widths = append(c.widths, n)
+	c.trace = append(c.trace, label(pick))
+	return pick
+}
+
+// successors returns the forced prefixes of every unexplored sibling this
+// run is responsible for: the next-higher choice at each decision from its
+// own last forced one through the end of the trail. Decisions past the
+// prefix always pick 0, so the only run that can reach a node's previous
+// sibling as its full trail is the one forced there — starting at
+// len(prefix)-1 generates every node exactly once, and pushing onto a
+// stack (deepest first) makes popping a depth-first walk of the whole
+// choice tree.
+func (c *chooser) successors() [][]int {
+	start := len(c.prefix) - 1
+	if start < 0 {
+		start = 0
+	}
+	var out [][]int
+	for i := len(c.trail) - 1; i >= start; i-- {
+		if c.trail[i]+1 < c.widths[i] {
+			next := make([]int, i+1)
+			copy(next, c.trail[:i])
+			next[i] = c.trail[i] + 1
+			out = append(out, next)
+		}
+	}
+	return out
+}
+
+// Counterexample is one failing run of an explorer: the decision trail
+// that reproduces it, the rendered transitions, and the failed check.
+type Counterexample struct {
+	// Seed is the decision trail in replay syntax (comma-separated choice
+	// indices) — the argument to ReplaySchedule/ReplayState and to
+	// `pvsim mc -replay-schedule` / `-replay-state`.
+	Seed string
+	// Trace renders the trail's transitions in order.
+	Trace []string
+	// Err is the failed invariant.
+	Err error
+}
+
+func (c *Counterexample) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "counterexample (seed %s): %v\n", c.Seed, c.Err)
+	for i, t := range c.Trace {
+		fmt.Fprintf(&b, "  %3d. %s\n", i, t)
+	}
+	return b.String()
+}
+
+// FormatSeed renders a decision trail in replay syntax.
+func FormatSeed(trail []int) string {
+	parts := make([]string, len(trail))
+	for i, v := range trail {
+		parts[i] = strconv.Itoa(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseSeed parses replay syntax back into a decision trail. The empty
+// string is the empty trail (every decision defaults to choice 0).
+func ParseSeed(seed string) ([]int, error) {
+	seed = strings.TrimSpace(seed)
+	if seed == "" {
+		return nil, nil
+	}
+	parts := strings.Split(seed, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("mc: seed element %d: %q is not a non-negative choice index", i, p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// enumerate exhaustively walks the choice tree defined by body's Choose
+// calls: body runs once per complete path, deterministically, with the
+// chooser making its decisions. A non-nil error from body stops the walk
+// and becomes the counterexample. budget caps the number of paths; runs
+// reports how many ran, and truncated whether the budget cut the tree
+// short.
+func enumerate(budget int, body func(c *chooser) error) (runs int, truncated bool, cex *Counterexample) {
+	stack := [][]int{nil}
+	for len(stack) > 0 {
+		if runs >= budget {
+			return runs, true, nil
+		}
+		prefix := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := &chooser{prefix: prefix}
+		if err := body(c); err != nil {
+			return runs + 1, false, &Counterexample{Seed: FormatSeed(c.trail), Trace: c.trace, Err: err}
+		}
+		runs++
+		stack = append(stack, c.successors()...)
+	}
+	return runs, false, nil
+}
+
+// replay runs body once with the given trail forced, returning its
+// rendered trace and error. Decisions past the trail default to choice 0,
+// so a seed printed by a truncated counterexample still replays a
+// deterministic run.
+func replay(trail []int, body func(c *chooser) error) (trace []string, err error) {
+	c := &chooser{prefix: trail}
+	err = body(c)
+	return c.trace, err
+}

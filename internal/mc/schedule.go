@@ -1,0 +1,306 @@
+package mc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+
+	"pvsim/internal/sim"
+	"pvsim/internal/sweep"
+)
+
+// defaultSpecPool orders the predictor specs the schedule explorer draws
+// its jobs from: a Jobs-job grid uses the first Jobs entries, so the
+// default 3-job grid mixes a baseline row, a dedicated-table row and a
+// virtualized row — the three code paths a sweep wave can take.
+var defaultSpecPool = []string{"none", "16-11a", "PV-8", "8-11a", "PV-16"}
+
+// defaultScheduleScale keeps each simulation at the generator's minimum
+// access count; the explorer's subject is the worker pool, not the
+// workloads, so every schedule should simulate as little as possible.
+const defaultScheduleScale = 1e-6
+
+// ScheduleOptions configure ExploreSchedules.
+type ScheduleOptions struct {
+	// Jobs is the grid-job count, 1..len(defaultSpecPool); 0 means 3 (the
+	// acceptance geometry). Each job is one predictor spec over one
+	// workload and seed, plus one shared matched-baseline simulation.
+	Jobs int
+	// Workers is the sequenced worker-pool width; 0 means 2.
+	Workers int
+	// Cancel additionally injects context cancellation as a virtual
+	// scheduler choice at every yield point, exploring "the sweep is
+	// cancelled here" against every schedule prefix. The no-cancellation
+	// schedules remain part of the tree (the branch that never picks the
+	// virtual choice).
+	Cancel bool
+	// Budget caps explored schedules; 0 means DefaultBudget.
+	Budget int
+	// MaxSystems bounds the explored engines' LRU system pool; 0 means 2,
+	// intentionally smaller than the job count so eviction happens inside
+	// the explored schedules.
+	MaxSystems int
+	// Workload and Seed pick the grid cell; zero values mean "Apache", 42.
+	Workload string
+	Seed     uint64
+	// Fault injects a deliberate defect so tests can prove the explorer
+	// catches one and that its counterexample replays. "corrupt-row"
+	// flips a byte of each schedule's report before the byte-identity
+	// check. Production and CI runs leave it empty.
+	Fault string
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...interface{})
+}
+
+// DefaultBudget bounds explored schedules/states when Options.Budget is
+// zero — high enough for the acceptance geometries, low enough that a
+// runaway tree fails fast in CI.
+const DefaultBudget = 50000
+
+func (o ScheduleOptions) withDefaults() ScheduleOptions {
+	if o.Jobs == 0 {
+		o.Jobs = 3
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Budget == 0 {
+		o.Budget = DefaultBudget
+	}
+	if o.MaxSystems == 0 {
+		o.MaxSystems = 2
+	}
+	if o.Workload == "" {
+		o.Workload = "Apache"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+func (o ScheduleOptions) grid() (sweep.Grid, error) {
+	if o.Jobs < 1 || o.Jobs > len(defaultSpecPool) {
+		return sweep.Grid{}, fmt.Errorf("mc: %d jobs (want 1..%d)", o.Jobs, len(defaultSpecPool))
+	}
+	return sweep.Grid{
+		Specs:     defaultSpecPool[:o.Jobs],
+		Workloads: []string{o.Workload},
+		Seeds:     []uint64{o.Seed},
+		Scale:     defaultScheduleScale,
+	}, nil
+}
+
+// Report is one explorer's outcome.
+type Report struct {
+	// Explored counts fully executed schedules (ExploreSchedules) or
+	// distinct control states (ExploreStates).
+	Explored int
+	// Paths counts complete quiescent paths (ExploreStates only).
+	Paths int
+	// Truncated reports that the budget ended exploration before the
+	// tree/state space was exhausted.
+	Truncated bool
+	// Cex is the first failing run, nil if every explored run passed.
+	Cex *Counterexample
+}
+
+// mcSched adapts a chooser to sweep.Scheduler, optionally offering
+// "cancel the sweep here" as one extra virtual choice at every yield
+// point. After the explored run it is switched to fixed mode, where it
+// deterministically picks transition 0 without recording — the recovery
+// re-run must not add decisions to the explored tree.
+type mcSched struct {
+	ch        *chooser
+	cancel    context.CancelFunc
+	inject    bool
+	cancelled bool
+	fixed     bool
+}
+
+func (s *mcSched) Choose(n int, label func(i int) string) int {
+	if s.fixed {
+		return 0
+	}
+	if s.inject && !s.cancelled {
+		pick := s.ch.Choose(n+1, func(i int) string {
+			if i == n {
+				return "cancel"
+			}
+			return label(i)
+		})
+		if pick < n {
+			return pick
+		}
+		// The virtual choice fired: cancel the sweep at this yield point,
+		// then pick which of the still-enabled transitions runs into the
+		// freshly cancelled context.
+		s.cancelled = true
+		s.cancel()
+	}
+	return s.ch.Choose(n, label)
+}
+
+// ExploreSchedules enumerates every schedule of the configured grid on the
+// sequenced sweep worker pool and checks, per schedule: the report bytes
+// are identical to serial execution; progress fires exactly once per
+// merge transition; the LRU system pool stays within bound and
+// structurally intact; and — on schedules with injected cancellation — no
+// result is published, and a deterministic re-run on the same engine
+// still reproduces the serial bytes (cancellation corrupts nothing).
+func ExploreSchedules(opts ScheduleOptions) (Report, error) {
+	opts = opts.withDefaults()
+	grid, err := opts.grid()
+	if err != nil {
+		return Report{}, err
+	}
+	want, err := serialReference(grid)
+	if err != nil {
+		return Report{}, err
+	}
+	if opts.Log != nil {
+		opts.Log("mc: schedules: %d jobs x %d workers, cancel=%v, budget %d", opts.Jobs, opts.Workers, opts.Cancel, opts.Budget)
+	}
+	runs, truncated, cex := enumerate(opts.Budget, func(c *chooser) error {
+		return runSchedule(opts, grid, want, c)
+	})
+	if opts.Log != nil {
+		opts.Log("mc: schedules: explored %d (truncated=%v)", runs, truncated)
+	}
+	return Report{Explored: runs, Truncated: truncated, Cex: cex}, nil
+}
+
+// ReplaySchedule re-runs the single schedule identified by seed (a
+// counterexample's decision trail) and returns its rendered trace and the
+// failing check, nil if the schedule passes.
+func ReplaySchedule(opts ScheduleOptions, seed string) ([]string, error) {
+	opts = opts.withDefaults()
+	trail, err := ParseSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := opts.grid()
+	if err != nil {
+		return nil, err
+	}
+	want, err := serialReference(grid)
+	if err != nil {
+		return nil, err
+	}
+	return replay(trail, func(c *chooser) error {
+		return runSchedule(opts, grid, want, c)
+	})
+}
+
+// shrinkSim cuts every explored simulation to a few dozen accesses via
+// the engine's Tweak hook: the explorer's subject is the worker pool, and
+// byte-identity only needs the simulations deterministic, not
+// representative. Serial reference and explored schedules shrink
+// identically, so the comparison stays exact.
+func shrinkSim(cfg *sim.Config) {
+	cfg.Warmup = 16
+	cfg.Measure = 48
+	// One core and toy cache geometries: building a system (not simulating
+	// it) dominates a shrunken schedule, and an 8MB L2's tag arrays are
+	// the bulk of that construction.
+	cfg.Hier.Cores = 1
+	cfg.Hier.L1I.SizeBytes = 4 << 10
+	cfg.Hier.L1D.SizeBytes = 4 << 10
+	cfg.Hier.L2.SizeBytes = 64 << 10
+}
+
+// serialReference runs the grid once on a plain single-worker engine (no
+// scheduler hook: the production goroutine path) and returns the report
+// bytes every explored schedule must reproduce.
+func serialReference(grid sweep.Grid) ([]byte, error) {
+	res, err := sweep.New(sweep.Options{Parallel: 1, Tweak: shrinkSim}).Run(context.Background(), grid, nil)
+	if err != nil {
+		return nil, fmt.Errorf("mc: serial reference: %w", err)
+	}
+	return res.JSON()
+}
+
+// runSchedule executes one explored schedule on a fresh engine and checks
+// its invariants. A returned error is the counterexample's failed check.
+func runSchedule(opts ScheduleOptions, grid sweep.Grid, want []byte, c *chooser) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sched := &mcSched{ch: c, cancel: cancel, inject: opts.Cancel}
+	e := sweep.New(sweep.Options{Parallel: opts.Workers, MaxSystems: opts.MaxSystems, Sched: sched, Tweak: shrinkSim})
+
+	progress := 0
+	res, err := e.Run(ctx, grid, func(done, total int) { progress++ })
+
+	// Progress must fire exactly once per merge transition, whatever the
+	// schedule: merged rows are always complete, dropped jobs never
+	// publish.
+	merges := 0
+	for _, t := range c.trace {
+		if strings.HasPrefix(t, "merge(") {
+			merges++
+		}
+	}
+	if progress != merges {
+		return fmt.Errorf("schedule published %d progress updates across %d merge transitions", progress, merges)
+	}
+
+	if sched.cancelled {
+		if err != context.Canceled {
+			return fmt.Errorf("cancelled schedule returned %v, want context.Canceled", err)
+		}
+		if res != nil {
+			return fmt.Errorf("cancelled schedule published a result with %d rows", len(res.Rows))
+		}
+	} else {
+		if err != nil {
+			return fmt.Errorf("schedule failed: %w", err)
+		}
+		got, jerr := res.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		if opts.Fault == "corrupt-row" && len(got) > 0 {
+			got[len(got)/2] ^= 0x01
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("schedule diverged from serial reference (%d vs %d bytes)", len(got), len(want))
+		}
+	}
+
+	if err := checkEnginePool(e, opts.MaxSystems); err != nil {
+		return err
+	}
+
+	// A cancelled schedule must leave the engine fully usable: the same
+	// engine, re-run deterministically with a fresh context, must
+	// reproduce the serial bytes and keep its pool bounded.
+	if sched.cancelled {
+		sched.fixed = true
+		res2, err2 := e.Run(context.Background(), grid, nil)
+		if err2 != nil {
+			return fmt.Errorf("re-run after cancellation failed: %w", err2)
+		}
+		got, jerr := res2.JSON()
+		if jerr != nil {
+			return jerr
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("re-run after cancellation diverged from serial reference")
+		}
+		if err := checkEnginePool(e, opts.MaxSystems); err != nil {
+			return fmt.Errorf("after cancellation re-run: %w", err)
+		}
+	}
+	return nil
+}
+
+func checkEnginePool(e *sweep.Engine, bound int) error {
+	if err := e.CheckPool(); err != nil {
+		return err
+	}
+	if n := e.RetainedSystems(); n > bound {
+		return fmt.Errorf("system pool retains %d systems, bound is %d", n, bound)
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package simtest
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"pvsim/internal/experiments"
@@ -152,7 +153,11 @@ func expectedFoldedAccesses(cfg sim.Config) uint64 {
 }
 
 // TestHarnessHasTeeth corrupts a healthy Result one counter at a time and
-// verifies the invariants actually reject it.
+// verifies every invariant clause actually rejects it — and that the
+// error names the violated clause, not just any failure. One mutation per
+// reachable clause of CheckConservation and CheckCost; the only clause
+// with no mutation is Cycles() != component-sum, which is unreachable
+// because Cycles() is defined as that sum.
 func TestHarnessHasTeeth(t *testing.T) {
 	w, err := workloads.ByName("Apache")
 	if err != nil {
@@ -165,22 +170,116 @@ func TestHarnessHasTeeth(t *testing.T) {
 	if err := Check(&good); err != nil {
 		t.Fatalf("healthy run rejected: %v", err)
 	}
-
-	breakIt := func(name string, mutate func(*sim.Result)) {
-		bad := good
-		bad.Mem.Core = append([]memsys.CoreStats(nil), good.Mem.Core...)
-		bad.Proxies = append(bad.Proxies[:0:0], good.Proxies...)
-		bad.Cost.Core = append(bad.Cost.Core[:0:0], good.Cost.Core...)
-		mutate(&bad)
-		if err := Check(&bad); err == nil {
-			t.Errorf("%s: corrupted result accepted", name)
-		}
+	if good.Proxies[0].Lookups == 0 || len(good.Cost.Core) < 2 {
+		t.Fatalf("run too small to arm every mutation: %d lookups, %d cost cores",
+			good.Proxies[0].Lookups, len(good.Cost.Core))
 	}
-	breakIt("miss>reads", func(r *sim.Result) { r.Mem.Core[0].L1DReadMisses = r.Mem.Core[0].L1DReads + 1 })
-	breakIt("l2-leak", func(r *sim.Result) { r.Mem.L2Hits[memsys.Load]++ })
-	breakIt("proxy-leak", func(r *sim.Result) { r.Proxies[0].Hits++ })
-	breakIt("fold-drift", func(r *sim.Result) { r.Cost.Core[0].PVLookups++ })
-	breakIt("cycle-theft", func(r *sim.Result) { r.Cost.Core[0].BaseCycles-- })
+	p := good.Cost.Params
+
+	for _, tc := range []struct {
+		name    string
+		wantSub string
+		mutate  func(*sim.Result)
+	}{
+		{"l1d-read-miss-leak", "read misses",
+			func(r *sim.Result) { r.Mem.Core[0].L1DReadMisses = r.Mem.Core[0].L1DReads + 1 }},
+		{"l1d-write-miss-leak", "write misses",
+			func(r *sim.Result) { r.Mem.Core[0].L1DWriteMisses = r.Mem.Core[0].L1DWrites + 1 }},
+		{"prefetch-hit-leak", "prefetch hits",
+			func(r *sim.Result) { r.Mem.Core[0].L1DPrefetchHits = r.Mem.Core[0].L1DReads + 1 }},
+		{"l1i-miss-leak", "L1I misses",
+			func(r *sim.Result) { r.Mem.Core[0].L1IMisses = r.Mem.Core[0].L1IFetches + 1 }},
+		{"l2-hit-leak", "requests",
+			func(r *sim.Result) { r.Mem.L2Hits[memsys.Load]++ }},
+		{"proxy-hit-leak", "lookups",
+			func(r *sim.Result) { r.Proxies[0].Hits++ }},
+		{"phantom-fetch", "every miss fetches exactly once",
+			func(r *sim.Result) { r.Proxies[0].Fetches++ }},
+		{"fill-leak", "L2-fills",
+			func(r *sim.Result) { r.Proxies[0].FilledByL2++ }},
+		{"merge-overflow", "in-flight merges",
+			func(r *sim.Result) { r.Proxies[0].InFlightMerges = r.Proxies[0].Hits + 1 }},
+		{"stall-overflow", "MSHR stalls",
+			func(r *sim.Result) { r.Proxies[0].MSHRStalls = r.Proxies[0].Misses + 1 }},
+		{"base-cycle-theft", "base",
+			func(r *sim.Result) { r.Cost.Core[0].BaseCycles-- }},
+		{"pv-counter-skew", "PV counters inconsistent",
+			func(r *sim.Result) { r.Cost.Core[0].PVMisses = r.Cost.Core[0].PVLookups + 1 }},
+		// Keep core 1's own base-cycle law intact so the lockstep clause —
+		// not the per-core one — is what fires.
+		{"lockstep-break", "lockstep",
+			func(r *sim.Result) {
+				r.Cost.Core[1].Accesses++
+				r.Cost.Core[1].BaseCycles += p.L1HitCycles
+			}},
+		{"fold-drift", "!= proxy",
+			func(r *sim.Result) { r.Cost.Core[0].PVLookups++ }},
+		{"hit-cycle-drift", "PV hit cycles",
+			func(r *sim.Result) { r.Cost.Core[0].PVHitCycles++ }},
+		{"miss-cycle-drift", "PV miss cycles",
+			func(r *sim.Result) { r.Cost.Core[0].PVMissCycles++ }},
+		{"stall-cycle-drift", "PV stall cycles",
+			func(r *sim.Result) { r.Cost.Core[0].PVStallCycles++ }},
+		{"bus-cycle-drift", "PV bus cycles",
+			func(r *sim.Result) { r.Cost.Core[0].PVBusCycles++ }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := good
+			bad.Mem.Core = append([]memsys.CoreStats(nil), good.Mem.Core...)
+			bad.Proxies = append(bad.Proxies[:0:0], good.Proxies...)
+			bad.Cost.Core = append(bad.Cost.Core[:0:0], good.Cost.Core...)
+			tc.mutate(&bad)
+			err := Check(&bad)
+			if err == nil {
+				t.Fatal("corrupted result accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("wrong clause fired: error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestHarnessHasTeethPhaseFlush arms the CheckCost branch the plain
+// matrix mutation can't reach: on a PhaseFlush run the fold must dominate
+// the restarted proxy counters field-wise, so a fold that lost events has
+// to be rejected by the dominance clause.
+func TestHarnessHasTeethPhaseFlush(t *testing.T) {
+	m, err := workloads.MixByName("ctx-switch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := experiments.ConfigForMix(m, harnessScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cost = timing.Config{Enabled: true}
+	cfg.Prefetch = sim.PV8
+	cfg.PhaseFlush = true
+	good := sim.Run(cfg)
+	if err := Check(&good); err != nil {
+		t.Fatalf("healthy flush run rejected: %v", err)
+	}
+	if good.Proxies[0].Lookups == 0 {
+		t.Fatal("flush run saw no proxy lookups; the mutation would be vacuous")
+	}
+
+	bad := good
+	bad.Cost.Core = append(bad.Cost.Core[:0:0], good.Cost.Core...)
+	// Zero all four fold PV counters together: the per-core consistency
+	// clause stays satisfied (0 <= 0), so the dominance clause is the one
+	// that must catch the loss.
+	bad.Cost.Core[0].PVLookups = 0
+	bad.Cost.Core[0].PVMisses = 0
+	bad.Cost.Core[0].PVStalls = 0
+	bad.Cost.Core[0].PVInvalidations = 0
+	err = Check(&bad)
+	if err == nil {
+		t.Fatal("event-losing fold accepted on a flush run")
+	}
+	if !strings.Contains(err.Error(), "lost events") {
+		t.Errorf("wrong clause fired: %v", err)
+	}
 }
 
 // TestHomogeneousMixMatchesWorkload is the first metamorphic check: a mix

@@ -33,6 +33,19 @@ type Options struct {
 	MaxResults int
 	// Log, when non-nil, receives progress lines.
 	Log func(format string, args ...interface{})
+	// Sched, when non-nil, replaces the goroutine worker pool with a
+	// sequenced single-threaded execution whose every scheduling decision
+	// the Scheduler makes — the model-checking hook internal/mc drives.
+	// Production sweeps leave it nil (zero overhead: the goroutine path
+	// never consults it). Output is byte-identical either way; internal/mc
+	// exists to prove exactly that on every interleaving.
+	Sched Scheduler
+	// Tweak, when non-nil, edits every expanded configuration — jobs and
+	// matched baselines alike — just before simulation. The model checker
+	// uses it to shrink each simulation to a few dozen accesses so
+	// exhaustively enumerating thousands of schedules stays within its
+	// time budget; production sweeps leave it nil.
+	Tweak func(cfg *sim.Config)
 }
 
 // Progress is called after each simulation completes, with the number of
@@ -87,6 +100,12 @@ func (e *Engine) Reset() { e.runner.Reset() }
 // MaxSystems).
 func (e *Engine) RetainedSystems() int { return e.runner.RetainedSystems() }
 
+// CheckPool verifies the system pool's structural invariants — occupancy
+// within the configured bound, no nil retained system. The model checker
+// (internal/mc) calls it after every explored schedule, including
+// cancelled ones.
+func (e *Engine) CheckPool() error { return e.runner.CheckPool() }
+
 // Run expands the grid and executes it. Results are merged in job
 // expansion order regardless of completion order, so the returned Result —
 // and everything rendered from it — is byte-identical at any Parallel.
@@ -120,13 +139,22 @@ func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, e
 		mu.Unlock()
 	}
 
-	baseRes := make([]sim.Result, len(baseCfgs))
-	if err := e.wave(ctx, baseCfgs, baseRes, note); err != nil {
-		return nil, err
-	}
 	jobCfgs := make([]sim.Config, len(jobs))
 	for i, j := range jobs {
 		jobCfgs[i] = j.Config
+	}
+	if e.opts.Tweak != nil {
+		for i := range baseCfgs {
+			e.opts.Tweak(&baseCfgs[i])
+		}
+		for i := range jobCfgs {
+			e.opts.Tweak(&jobCfgs[i])
+		}
+	}
+
+	baseRes := make([]sim.Result, len(baseCfgs))
+	if err := e.wave(ctx, baseCfgs, baseRes, note); err != nil {
+		return nil, err
 	}
 	jobRes := make([]sim.Result, len(jobs))
 	if err := e.wave(ctx, jobCfgs, jobRes, note); err != nil {
@@ -144,8 +172,13 @@ func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, e
 // wave runs cfgs over the bounded worker pool, writing each result to its
 // pre-assigned slot. Parallelism is bounded twice — by the worker count
 // here and by the runner's semaphore — with the same value, so the worker
-// pool is the effective bound.
+// pool is the effective bound. With Options.Sched set the goroutine pool
+// is replaced by the sequenced model-checking execution (same per-job
+// transitions, scheduler-chosen order).
 func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, note func()) error {
+	if e.opts.Sched != nil {
+		return e.waveSequenced(ctx, cfgs, out, note)
+	}
 	if len(cfgs) == 0 {
 		return ctx.Err()
 	}
@@ -160,6 +193,16 @@ func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// A job can be dispatched in the same instant the sweep is
+				// cancelled (the feeder's select picks pseudo-randomly among
+				// ready branches): drop it here without simulating or
+				// publishing progress, so cancellation never publishes work
+				// and never starts a new simulation. Jobs that began before
+				// the cancellation finish and merge — a simulation has no
+				// preemption point, and a merged result is always complete.
+				if ctx.Err() != nil {
+					continue
+				}
 				out[i] = e.runner.Run(cfgs[i])
 				note()
 			}
@@ -167,6 +210,11 @@ func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, 
 	}
 feed:
 	for i := range cfgs {
+		// Priority check: once ctx is cancelled, stop feeding immediately
+		// instead of letting the select race dispatch more jobs.
+		if ctx.Err() != nil {
+			break feed
+		}
 		select {
 		case <-ctx.Done():
 			break feed

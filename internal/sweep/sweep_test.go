@@ -351,9 +351,76 @@ func TestSweepProgress(t *testing.T) {
 func TestSweepCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := New(Options{Parallel: 2}).Run(ctx, testGrid(), nil)
+	res, err := New(Options{Parallel: 2}).Run(ctx, testGrid(), nil)
 	if err != context.Canceled {
 		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run published a result with %d rows", len(res.Rows))
+	}
+}
+
+// TestSweepCancelledDispatchesNothing pins the cancellation fix: with the
+// context cancelled before Run, the feeder's priority check must stop
+// dispatch before a single job runs — no progress publication, no cached
+// result, no partial row. Before the fix the feeder's select could keep
+// picking its send branch against a closed Done channel, so a "cancelled"
+// sweep still simulated (and published progress for) a random prefix of
+// its jobs.
+func TestSweepCancelledDispatchesNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(Options{Parallel: 4})
+	calls := 0
+	res, err := e.Run(ctx, testGrid(), func(done, total int) { calls++ })
+	if err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run published a result")
+	}
+	if calls != 0 {
+		t.Errorf("cancelled run published %d progress updates, want 0", calls)
+	}
+	if got := e.RetainedSystems(); got != 0 {
+		t.Errorf("cancelled run retained %d systems before simulating anything", got)
+	}
+}
+
+// TestSweepCancelledEngineReusable pins that cancellation leaves the
+// engine — including its LRU system pool — fully usable: a cancelled run
+// followed by an uncancelled run of the same grid must be byte-identical
+// to a fresh serial run.
+func TestSweepCancelledEngineReusable(t *testing.T) {
+	g := Grid{Specs: []string{"none", "16-11a", "PV-8"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	want, err := New(Options{Parallel: 1}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := New(Options{Parallel: 2, MaxSystems: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, g, nil); err != context.Canceled {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	res, err := e.Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, wantJSON) {
+		t.Fatalf("post-cancellation re-run diverges from serial:\n--- want ---\n%s\n--- got ---\n%s", wantJSON, got)
+	}
+	if n := e.RetainedSystems(); n > 2 {
+		t.Errorf("pool retains %d systems after cancellation + re-run, bound is 2", n)
 	}
 }
 

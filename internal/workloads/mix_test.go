@@ -105,21 +105,36 @@ func TestParseMixPhased(t *testing.T) {
 	}
 }
 
+// TestParseMixErrors drives every ParseMix error path and checks the
+// error names the actual cause — a parser collapsing everything into one
+// generic failure would reject these specs but fail this test.
 func TestParseMixErrors(t *testing.T) {
-	for _, spec := range []string{
-		"",                               // empty
-		"NoSuchWorkload",                 // unknown name
-		"DB2//Apache",                    // empty core spec
-		"DB2+",                           // empty phase
-		"DB2@x",                          // non-numeric count
-		"DB2@-5",                         // negative count
-		"DB2@0",                          // zero count
-		"DB2@99999999999999999999999999", // overflow
-		"/",                              // nothing but separator
+	for _, tc := range []struct {
+		name, spec, wantSub string
+	}{
+		{"empty spec", "", "empty mix spec"},
+		{"blank spec", "   ", "empty mix spec"},
+		{"unknown workload", "NoSuchWorkload", "unknown workload"},
+		{"unknown phase workload", "DB2+NoSuchWorkload", "unknown workload"},
+		{"empty core", "DB2//Apache", "empty core spec"},
+		{"separator only", "/", "empty core spec"},
+		{"trailing separator", "DB2/Apache/", "empty core spec"},
+		{"empty phase", "DB2+", "unknown workload"},
+		{"non-numeric count", "DB2@x", "bad access count"},
+		{"count without digits", "DB2@", "bad access count"},
+		{"negative count", "DB2@-5", "must be positive"},
+		{"zero count", "DB2@0", "must be positive"},
+		{"overflow count", "DB2@99999999999999999999999999", "bad access count"},
 	} {
-		if _, err := ParseMix(spec); err == nil {
-			t.Errorf("spec %q parsed", spec)
-		}
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseMix(tc.spec)
+			if err == nil {
+				t.Fatalf("spec %q parsed", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("spec %q: error %q does not mention %q", tc.spec, err, tc.wantSub)
+			}
+		})
 	}
 }
 
