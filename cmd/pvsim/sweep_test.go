@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"pvsim/internal/service"
 	"pvsim/internal/sweep"
 )
 
@@ -133,7 +134,12 @@ func TestSweepErrors(t *testing.T) {
 // grid run in-process through the engine.
 func TestServeEndToEnd(t *testing.T) {
 	// The handler under test is exactly what `pvsim serve` mounts.
-	ts := httptest.NewServer(sweep.NewServer(sweep.Options{Parallel: 4}))
+	svc, err := service.New(service.Options{Engine: sweep.Options{Parallel: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	ts := httptest.NewServer(svc)
 	defer ts.Close()
 
 	g := sweep.Grid{Specs: []string{"PV-8"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: 0.0025}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"pvsim/internal/sweep"
+)
+
+func pend(id string, seq uint64, prio int) Pending {
+	return Pending{ID: id, Seq: seq, Priority: prio, Grid: sweep.Grid{Specs: []string{"PV-8"}}}
+}
+
+// TestQueueDrainOrder pins the deterministic drain order: priority
+// descending, then submission seq ascending — never insertion order.
+func TestQueueDrainOrder(t *testing.T) {
+	q := NewQueue(8)
+	for _, p := range []Pending{
+		pend("a", 0, 0), pend("b", 1, 5), pend("c", 2, 0), pend("d", 3, 5), pend("e", 4, -1),
+	} {
+		if err := q.Push(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"b", "d", "a", "c", "e"}
+	for i, id := range want {
+		p, ok := q.Pop()
+		if !ok || p.ID != id {
+			t.Fatalf("pop %d = (%q, %v), want %q", i, p.ID, ok, id)
+		}
+	}
+}
+
+func TestQueueBoundAndRemove(t *testing.T) {
+	q := NewQueue(2)
+	if err := q.Push(pend("a", 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(pend("b", 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(pend("c", 2, 0)); err != ErrQueueFull {
+		t.Fatalf("push past depth returned %v, want ErrQueueFull", err)
+	}
+	if !q.Remove("a") || q.Remove("a") {
+		t.Fatal("Remove did not drop exactly one queued item")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after remove, want 1", q.Len())
+	}
+	// Removal freed a slot: admission works again.
+	if err := q.Push(pend("c", 2, 0)); err != nil {
+		t.Fatalf("push after remove: %v", err)
+	}
+}
+
+func TestQueuePosition(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(pend("low", 0, 0))
+	q.Push(pend("high", 1, 9))
+	q.Push(pend("mid", 2, 4))
+	for id, want := range map[string]int{"high": 0, "mid": 1, "low": 2} {
+		if got := q.Position(id); got != want {
+			t.Errorf("Position(%s) = %d, want %d", id, got, want)
+		}
+	}
+	if got := q.Position("missing"); got != -1 {
+		t.Errorf("Position(missing) = %d, want -1", got)
+	}
+}
+
+// TestQueueCloseUnblocksPop pins shutdown behavior: Close wakes blocked
+// workers with ok=false and leaves queued items for Snapshot.
+func TestQueueCloseUnblocksPop(t *testing.T) {
+	q := NewQueue(4)
+	popped := make(chan bool)
+	go func() {
+		_, ok := q.Pop()
+		popped <- ok
+	}()
+	q.Close()
+	if ok := <-popped; ok {
+		t.Fatal("Pop on closed queue returned ok")
+	}
+	if err := q.Push(pend("a", 0, 0)); err == nil {
+		t.Fatal("Push on closed queue accepted")
+	}
+}
+
+// TestQueueSaveLoadRoundTrip pins persistence: Save writes drain order,
+// LoadPending reconstructs the same items.
+func TestQueueSaveLoadRoundTrip(t *testing.T) {
+	q := NewQueue(8)
+	q.Push(pend("a", 0, 0))
+	q.Push(pend("b", 1, 7))
+	var buf bytes.Buffer
+	if err := q.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	items, err := LoadPending(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 || items[0].ID != "b" || items[1].ID != "a" {
+		t.Fatalf("round trip = %+v, want [b a] in drain order", items)
+	}
+	if items[0].Priority != 7 || items[1].Seq != 0 {
+		t.Fatalf("round trip lost priority/seq: %+v", items)
+	}
+	if items[0].Grid.Hash() != pend("b", 1, 7).Grid.Hash() {
+		t.Fatal("round trip changed the grid hash")
+	}
+	// A mangled file errors instead of silently dropping work.
+	if _, err := LoadPending(bytes.NewReader([]byte(`[{"id":"x","bogus":1}]`))); err == nil {
+		t.Fatal("LoadPending accepted unknown fields")
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestStorePutGet(t *testing.T) {
+	st, err := NewStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "0123456789abcdef"
+	data := []byte(`{"hash":"0123456789abcdef"}` + "\n")
+	if err := st.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(id)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Get = (%q, %v), want stored bytes back", got, ok)
+	}
+	if _, ok := st.Get("fedcba9876543210"); ok {
+		t.Fatal("Get returned a result never stored")
+	}
+}
+
+// TestStoreRejectsUnsafeIDs pins the path-traversal guard: only lowercase
+// hex ids reach the filesystem.
+func TestStoreRejectsUnsafeIDs(t *testing.T) {
+	st, err := NewStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../etc/passwd", "ABC", "a/b", "..", "0123456789abcdefg"} {
+		if err := st.Put(id, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", id)
+		}
+		if _, ok := st.Get(id); ok {
+			t.Errorf("Get(%q) returned data", id)
+		}
+	}
+}
+
+// TestStoreRollingEviction pins bounded retention: past the bound, the
+// oldest results (by mtime) are evicted on the next Put; newer ones and
+// the bound itself survive.
+func TestStoreRollingEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb", "cccccccccccccccc"}
+	base := time.Now().Add(-time.Hour)
+	for i, id := range ids[:2] {
+		if err := st.Put(id, []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes so eviction order is deterministic on
+		// filesystems with coarse timestamps.
+		if err := os.Chtimes(filepath.Join(dir, id+".json"), base, base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put(ids[2], []byte(ids[2])); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Len(); n != 2 {
+		t.Fatalf("store holds %d results after eviction, want 2", n)
+	}
+	if _, ok := st.Get(ids[0]); ok {
+		t.Error("oldest result survived eviction")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := st.Get(id); !ok {
+			t.Errorf("recent result %s evicted", id)
+		}
+	}
+	// Unbounded stores never evict.
+	ust, err := NewStore(t.TempDir(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if err := ust.Put(id, []byte(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := ust.Len(); n != 3 {
+		t.Fatalf("unbounded store holds %d, want 3", n)
+	}
+}

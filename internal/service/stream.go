@@ -1,0 +1,260 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"pvsim/internal/sweep"
+)
+
+// feed is one sweep's streaming state: rows appended in expansion order
+// by the engine's RowSink, fanned out to any number of subscribers. A
+// subscriber replays the rows it has not yet seen, then blocks until more
+// arrive or the feed finishes. Finished feeds (done or failed) stay
+// readable: a client connecting after completion replays the whole sweep.
+type feed struct {
+	mu      sync.Mutex
+	rows    []sweep.Row
+	jobs    int // expected row count, from StreamHeader
+	header  []byte
+	done    bool
+	errMsg  string // non-empty when the sweep failed or was cancelled
+	waiters []chan struct{}
+}
+
+// newFeed builds a feed for a validated grid, precomputing the framed
+// header so every subscriber shares the same bytes.
+func newFeed(g sweep.Grid) (*feed, error) {
+	header, jobs, err := sweep.StreamHeader(g)
+	if err != nil {
+		return nil, err
+	}
+	return &feed{jobs: jobs, header: header}, nil
+}
+
+// doneFeed builds an already-complete feed from a finished result — the
+// replay path for sweeps restored from the disk store.
+func doneFeed(res *sweep.Result) (*feed, error) {
+	f, err := newFeed(res.Grid)
+	if err != nil {
+		return nil, err
+	}
+	f.rows = res.Rows
+	f.done = true
+	return f, nil
+}
+
+// append publishes one row (the engine delivers them in expansion order)
+// and wakes subscribers.
+func (f *feed) append(row sweep.Row) {
+	f.mu.Lock()
+	f.rows = append(f.rows, row)
+	f.wakeLocked()
+	f.mu.Unlock()
+}
+
+// finish marks the feed complete; errMsg is empty for success. Cancelled
+// and failed sweeps publish no further rows — subscribers see the error
+// marker and the stream ends.
+func (f *feed) finish(errMsg string) {
+	f.mu.Lock()
+	f.done = true
+	f.errMsg = errMsg
+	f.wakeLocked()
+	f.mu.Unlock()
+}
+
+func (f *feed) wakeLocked() {
+	for _, w := range f.waiters {
+		close(w)
+	}
+	f.waiters = nil
+}
+
+// next returns the rows from index from onwards, plus the completion
+// state. If nothing new is available it returns a wait channel that
+// closes on the next append/finish; the caller selects on it and its own
+// cancellation.
+func (f *feed) next(from int) (rows []sweep.Row, done bool, errMsg string, wait <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if from < len(f.rows) {
+		rows = f.rows[from:len(f.rows):len(f.rows)]
+		return rows, false, "", nil
+	}
+	if f.done {
+		return nil, true, f.errMsg, nil
+	}
+	w := make(chan struct{})
+	f.waiters = append(f.waiters, w)
+	return nil, false, "", w
+}
+
+// handleStream serves GET /sweeps/{id}/stream: partial results as they
+// land, in expansion order, in one of three framings.
+//
+//   - json (default): chunks whose byte concatenation is exactly the
+//     finished sweep's Result.JSON() — the same bytes `pvsim sweep
+//     -format json` prints. Save the stream to a file and you hold the
+//     serial report. A failed or cancelled sweep truncates the document
+//     (it never becomes valid JSON), which is the error signal.
+//   - ndjson: one compact JSON row per line, then a final status line
+//     {"id":...,"jobs":N,"done":true} (or {"error":...}).
+//   - sse: Server-Sent Events — `event: row` per row, then `event: done`
+//     (or `event: error`). Selected by ?format=sse or an Accept header
+//     of text/event-stream.
+//
+// Streams of queued sweeps block until the sweep starts; streams of
+// finished sweeps replay in full. The connection's context cancels the
+// stream (not the sweep — DELETE does that).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.sweeps[id]
+	var f *feed
+	if ok {
+		f = run.feed
+	}
+	s.mu.Unlock()
+	if !ok || f == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep")
+		return
+	}
+
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		switch {
+		case strings.Contains(r.Header.Get("Accept"), "text/event-stream"):
+			format = "sse"
+		case strings.Contains(r.Header.Get("Accept"), "application/x-ndjson"):
+			format = "ndjson"
+		default:
+			format = "json"
+		}
+	}
+
+	flush := func() {}
+	if fl, ok := w.(http.Flusher); ok {
+		flush = fl.Flush
+	}
+
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+		s.streamFramed(w, flush, f, r)
+	case "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		s.streamNDJSON(w, flush, f, id, r)
+	case "sse":
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		s.streamSSE(w, flush, f, id, r)
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (want json|ndjson|sse)", format))
+	}
+}
+
+// streamFramed writes the framed-JSON stream: header, row chunks, footer.
+func (s *Server) streamFramed(w http.ResponseWriter, flush func(), f *feed, r *http.Request) {
+	w.Write(f.header)
+	flush()
+	i := 0
+	for {
+		rows, done, errMsg, wait := f.next(i)
+		switch {
+		case len(rows) > 0:
+			for _, row := range rows {
+				chunk, err := sweep.StreamRow(row, i)
+				if err != nil {
+					return
+				}
+				w.Write(chunk)
+				i++
+			}
+			flush()
+		case done:
+			if errMsg == "" {
+				w.Write(sweep.StreamFooter(f.jobs))
+			}
+			flush()
+			return
+		default:
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// streamNDJSON writes one compact row per line plus a final status line.
+func (s *Server) streamNDJSON(w http.ResponseWriter, flush func(), f *feed, id string, r *http.Request) {
+	i := 0
+	for {
+		rows, done, errMsg, wait := f.next(i)
+		switch {
+		case len(rows) > 0:
+			for _, row := range rows {
+				line, err := sweep.RowLine(row)
+				if err != nil {
+					return
+				}
+				w.Write(line)
+				i++
+			}
+			flush()
+		case done:
+			if errMsg == "" {
+				fmt.Fprintf(w, "{\"id\":%q,\"jobs\":%d,\"done\":true}\n", id, f.jobs)
+			} else {
+				fmt.Fprintf(w, "{\"id\":%q,\"error\":%q}\n", id, errMsg)
+			}
+			flush()
+			return
+		default:
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+// streamSSE writes Server-Sent Events: one `row` event per row, then a
+// terminal `done` or `error` event.
+func (s *Server) streamSSE(w http.ResponseWriter, flush func(), f *feed, id string, r *http.Request) {
+	i := 0
+	for {
+		rows, done, errMsg, wait := f.next(i)
+		switch {
+		case len(rows) > 0:
+			for _, row := range rows {
+				line, err := sweep.RowLine(row)
+				if err != nil {
+					return
+				}
+				fmt.Fprintf(w, "event: row\ndata: %s\n", line) // line carries its own \n
+				i++
+			}
+			flush()
+		case done:
+			if errMsg == "" {
+				fmt.Fprintf(w, "event: done\ndata: {\"id\":%q,\"jobs\":%d}\n\n", id, f.jobs)
+			} else {
+				fmt.Fprintf(w, "event: error\ndata: {\"id\":%q,\"error\":%q}\n\n", id, errMsg)
+			}
+			flush()
+			return
+		default:
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}

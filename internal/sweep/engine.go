@@ -55,6 +55,15 @@ type Options struct {
 // never call back into the engine from it.
 type Progress func(done, total int)
 
+// RowSink receives each finished Row strictly in expansion order: row i is
+// delivered only after rows 0..i-1 have been delivered, whatever order the
+// worker pool completes jobs in. That makes the sink's byte stream — the
+// serve API's streaming endpoint frames each row with StreamRow — as
+// deterministic as the merged Result. Calls are serialized under the
+// engine's row lock: keep the sink cheap and never call back into the
+// engine from it.
+type RowSink func(Row)
+
 // Engine runs sweeps. It is safe for concurrent use (the serve API runs
 // sweeps concurrently on one engine) and keeps its system pool across runs,
 // so re-running a grid after Reset re-executes by resetting retained
@@ -62,6 +71,17 @@ type Progress func(done, total int)
 type Engine struct {
 	opts   Options
 	runner *experiments.Runner
+
+	// runMu guards running: grid-hash -> active run handles, so a service
+	// can cancel a sweep by its public id without holding the context that
+	// started it.
+	runMu   sync.Mutex
+	running map[string][]*runHandle
+}
+
+// runHandle is one in-flight Run's cancellation hook.
+type runHandle struct {
+	cancel context.CancelFunc
 }
 
 // New builds an engine.
@@ -76,7 +96,52 @@ func New(opts Options) *Engine {
 			MaxResults:  bound(opts.MaxResults, DefaultMaxResults),
 			Log:         opts.Log,
 		}),
+		running: map[string][]*runHandle{},
 	}
+}
+
+// track registers an in-flight run under the grid's hash so Cancel can
+// reach it; untrack removes exactly that registration (two concurrent runs
+// of the same grid each get their own handle).
+func (e *Engine) track(id string, cancel context.CancelFunc) *runHandle {
+	h := &runHandle{cancel: cancel}
+	e.runMu.Lock()
+	e.running[id] = append(e.running[id], h)
+	e.runMu.Unlock()
+	return h
+}
+
+func (e *Engine) untrack(id string, h *runHandle) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	hs := e.running[id]
+	for i, other := range hs {
+		if other == h {
+			hs = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(hs) == 0 {
+		delete(e.running, id)
+	} else {
+		e.running[id] = hs
+	}
+}
+
+// Cancel cancels every in-flight Run of the grid whose Hash is id and
+// reports whether any was running. It is the service layer's
+// DELETE /sweeps/{id} hook: the run observes the same context cancellation
+// an external caller could have triggered — dispatch stops, in-flight
+// simulations finish without publishing progress for undispatched jobs,
+// and Run returns context.Canceled.
+func (e *Engine) Cancel(id string) bool {
+	e.runMu.Lock()
+	hs := e.running[id]
+	e.runMu.Unlock()
+	for _, h := range hs {
+		h.cancel()
+	}
+	return len(hs) > 0
 }
 
 // bound maps the engine's option convention (0 = default, negative =
@@ -113,11 +178,30 @@ func (e *Engine) CheckPool() error { return e.runner.CheckPool() }
 // (a simulation step has no preemption point) and Run returns ctx.Err().
 // progress may be nil.
 func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, error) {
+	return e.RunRows(ctx, g, progress, nil)
+}
+
+// RunRows is Run with a streaming sink: each finished Row is delivered to
+// sink in expansion order as soon as it — and every row before it — has
+// completed, so a service can stream partial results while the sweep is
+// still running. The returned Result is byte-identical to Run's (the sink
+// observes exactly the rows the Result carries, in the same order). A nil
+// sink makes RunRows identical to Run. On cancellation the sink stops
+// receiving rows (the partial prefix it already saw is exactly a prefix of
+// the full run's rows) and RunRows returns ctx.Err() with a nil Result:
+// cancelled sweeps publish no result.
+func (e *Engine) RunRows(ctx context.Context, g Grid, progress Progress, sink RowSink) (*Result, error) {
 	g = g.normalized()
 	jobs, err := g.Jobs()
 	if err != nil {
 		return nil, err
 	}
+
+	// Register under the grid hash so Engine.Cancel(id) reaches this run.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	h := e.track(g.Hash(), cancel)
+	defer e.untrack(g.Hash(), h)
 
 	// Baselines: one matched no-prefetcher run per (seed, workload) cell,
 	// run as a wave before the grid jobs so concurrent jobs of one cell
@@ -153,18 +237,34 @@ func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, e
 	}
 
 	baseRes := make([]sim.Result, len(baseCfgs))
-	if err := e.wave(ctx, baseCfgs, baseRes, note); err != nil {
-		return nil, err
-	}
-	jobRes := make([]sim.Result, len(jobs))
-	if err := e.wave(ctx, jobCfgs, jobRes, note); err != nil {
+	if err := e.wave(ctx, baseCfgs, baseRes, note, nil); err != nil {
 		return nil, err
 	}
 
+	// Job wave: each completed job immediately reduces to its Row (all
+	// baselines are in by now), and the release buffer delivers rows to the
+	// sink in expansion order — row i goes out the moment rows 0..i are all
+	// reduced, whatever order the pool finished them in.
 	res := &Result{Grid: g, Hash: g.Hash(), Jobs: len(jobs), Rows: make([]Row, len(jobs))}
-	for i, j := range jobs {
-		base := baseRes[baseIdx[baselineCell{j.Seed, j.Scenario}]]
-		res.Rows[i] = rowFor(j, base, jobRes[i])
+	jobRes := make([]sim.Result, len(jobs))
+	var rowMu sync.Mutex
+	rowReady := make([]bool, len(jobs))
+	nextRow := 0
+	reduce := func(i int) {
+		rowMu.Lock()
+		base := baseRes[baseIdx[baselineCell{jobs[i].Seed, jobs[i].Scenario}]]
+		res.Rows[i] = rowFor(jobs[i], base, jobRes[i])
+		rowReady[i] = true
+		if sink != nil {
+			for nextRow < len(jobs) && rowReady[nextRow] {
+				sink(res.Rows[nextRow])
+				nextRow++
+			}
+		}
+		rowMu.Unlock()
+	}
+	if err := e.wave(ctx, jobCfgs, jobRes, note, reduce); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -172,12 +272,14 @@ func (e *Engine) Run(ctx context.Context, g Grid, progress Progress) (*Result, e
 // wave runs cfgs over the bounded worker pool, writing each result to its
 // pre-assigned slot. Parallelism is bounded twice — by the worker count
 // here and by the runner's semaphore — with the same value, so the worker
-// pool is the effective bound. With Options.Sched set the goroutine pool
-// is replaced by the sequenced model-checking execution (same per-job
-// transitions, scheduler-chosen order).
-func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, note func()) error {
+// pool is the effective bound. merged, when non-nil, runs after out[i] is
+// written and before the progress note — the row-reduction hook of the job
+// wave. With Options.Sched set the goroutine pool is replaced by the
+// sequenced model-checking execution (same per-job transitions,
+// scheduler-chosen order).
+func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, note func(), merged func(i int)) error {
 	if e.opts.Sched != nil {
-		return e.waveSequenced(ctx, cfgs, out, note)
+		return e.waveSequenced(ctx, cfgs, out, note, merged)
 	}
 	if len(cfgs) == 0 {
 		return ctx.Err()
@@ -204,6 +306,9 @@ func (e *Engine) wave(ctx context.Context, cfgs []sim.Config, out []sim.Result, 
 					continue
 				}
 				out[i] = e.runner.Run(cfgs[i])
+				if merged != nil {
+					merged(i)
+				}
 				note()
 			}
 		}()

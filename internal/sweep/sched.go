@@ -65,7 +65,7 @@ type seqWorker struct {
 // cancellation drops it without simulating or publishing progress, and a
 // worker already simulating finishes and merges (a simulation has no
 // preemption point).
-func (e *Engine) waveSequenced(ctx context.Context, cfgs []sim.Config, out []sim.Result, note func()) error {
+func (e *Engine) waveSequenced(ctx context.Context, cfgs []sim.Config, out []sim.Result, note func(), merged func(i int)) error {
 	if len(cfgs) == 0 {
 		return ctx.Err()
 	}
@@ -151,6 +151,9 @@ func (e *Engine) waveSequenced(ctx context.Context, cfgs []sim.Config, out []sim
 			wk.stage = stageMerge
 		case stageMerge:
 			out[wk.job] = wk.res
+			if merged != nil {
+				merged(wk.job)
+			}
 			note()
 			*wk = seqWorker{job: -1}
 		}

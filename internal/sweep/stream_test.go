@@ -1,0 +1,154 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// frameSweep runs g through RunRows collecting the framed stream — header,
+// one StreamRow chunk per sink delivery, footer — exactly like the serve
+// streaming endpoint does.
+func frameSweep(t *testing.T, parallel int, g Grid) (streamed []byte, res *Result) {
+	t.Helper()
+	header, jobs, err := StreamHeader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.Write(header)
+	i := 0
+	res, err = New(Options{Parallel: parallel}).RunRows(context.Background(), g, nil, func(row Row) {
+		chunk, err := StreamRow(row, i)
+		if err != nil {
+			t.Error(err)
+		}
+		buf.Write(chunk)
+		i++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != jobs {
+		t.Fatalf("sink received %d rows, StreamHeader promised %d", i, jobs)
+	}
+	buf.Write(StreamFooter(jobs))
+	return buf.Bytes(), res
+}
+
+// TestStreamFramingByteIdentical is the streaming spec: the concatenation
+// of header + per-row chunks + footer must be byte-identical to the
+// finished Result's JSON — the exact bytes `pvsim sweep -format json`
+// prints — at parallelism 1 and 8 (the acceptance pin).
+func TestStreamFramingByteIdentical(t *testing.T) {
+	g := testGrid()
+	for _, parallel := range []int{1, 8} {
+		streamed, res := frameSweep(t, parallel, g)
+		want, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed, want) {
+			t.Fatalf("parallel=%d: streamed concatenation differs from serial report:\n--- streamed ---\n%s\n--- serial ---\n%s",
+				parallel, streamed, want)
+		}
+	}
+	// And across parallelism: the p=1 and p=8 streams are themselves
+	// byte-identical (both equal the serial report, transitively, but pin
+	// it directly).
+	s1, _ := frameSweep(t, 1, g)
+	s8, _ := frameSweep(t, 8, g)
+	if !bytes.Equal(s1, s8) {
+		t.Fatal("streamed bytes differ between parallelism 1 and 8")
+	}
+}
+
+// TestRunRowsSinkOrder pins the ordered-release contract: the sink sees
+// every row, in expansion order, whatever order the pool completes them.
+func TestRunRowsSinkOrder(t *testing.T) {
+	g := testGrid()
+	var seen []int
+	res, err := New(Options{Parallel: 8}).RunRows(context.Background(), g, nil, func(row Row) {
+		seen = append(seen, row.Job)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Rows) {
+		t.Fatalf("sink received %d rows, result has %d", len(seen), len(res.Rows))
+	}
+	for i, job := range seen {
+		if job != i {
+			t.Fatalf("sink order %v: row %d delivered out of expansion order", seen, job)
+		}
+	}
+}
+
+// TestStreamRowEscaping pins that the framing encoder matches the report
+// encoder's escaping (no HTML escaping): a mix-spec workload label with
+// characters encoding/json would escape by default must frame identically.
+func TestStreamRowEscaping(t *testing.T) {
+	row := Row{Job: 0, Workload: "DB2@500+Apache@500", Spec: "PV-8", Label: "<&>"}
+	chunk, err := StreamRow(row, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(chunk, []byte(`\u003c`)) || !bytes.Contains(chunk, []byte(`"<&>"`)) {
+		t.Fatalf("StreamRow HTML-escaped where the report encoder would not:\n%s", chunk)
+	}
+	line, err := RowLine(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(line, []byte(`\u003c`)) || !bytes.Contains(line, []byte(`"<&>"`)) {
+		t.Fatalf("RowLine HTML-escaped where the report encoder would not:\n%s", line)
+	}
+	if n := bytes.Count(line, []byte("\n")); n != 1 || line[len(line)-1] != '\n' {
+		t.Fatalf("RowLine is not a single newline-terminated line:\n%q", line)
+	}
+}
+
+// cancelOnFirstChoice is a Scheduler that cancels the engine's run — by
+// public id — at its first scheduling decision, then picks transitions
+// first-enabled-first. It makes Engine.Cancel deterministic to test: the
+// sequenced wave observes the cancellation at the next pickup.
+type cancelOnFirstChoice struct {
+	e      *Engine
+	id     string
+	called bool
+}
+
+func (c *cancelOnFirstChoice) Choose(n int, label func(i int) string) int {
+	if !c.called {
+		c.called = true
+		if !c.e.Cancel(c.id) {
+			panic("Cancel found no running sweep to cancel")
+		}
+	}
+	return 0
+}
+
+// TestEngineCancelByID pins cancel-by-id: cancelling a running sweep by
+// its grid hash aborts it with context.Canceled and publishes nothing,
+// and the id is untracked afterwards (a second Cancel reports no run).
+func TestEngineCancelByID(t *testing.T) {
+	g := Grid{Specs: []string{"none", "16-11a"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	e := New(Options{Parallel: 2})
+	e.opts.Sched = &cancelOnFirstChoice{e: e, id: g.Hash()}
+	calls := 0
+	res, err := e.RunRows(context.Background(), g, func(done, total int) { calls++ }, nil)
+	if err != context.Canceled {
+		t.Fatalf("cancelled-by-id run returned %v, want context.Canceled", err)
+	}
+	if res != nil || calls != 0 {
+		t.Fatalf("cancelled-by-id run published: res=%v progress=%d", res, calls)
+	}
+	if e.Cancel(g.Hash()) {
+		t.Error("finished run still tracked: Cancel found a handle after RunRows returned")
+	}
+	// The engine stays usable: the same grid re-runs to completion.
+	e.opts.Sched = nil
+	if _, err := e.Run(context.Background(), g, nil); err != nil {
+		t.Fatalf("engine unusable after cancel-by-id: %v", err)
+	}
+}
