@@ -72,6 +72,7 @@ func run(args []string, stdout io.Writer) error {
 	outFile := fs.String("o", "", "output file (default stdout)")
 	verbose := fs.Bool("v", false, "log per-run progress")
 	parallel := fs.Int("p", 0, "max parallel simulations")
+	compile := fs.Bool("compile", false, "pre-compile access streams into binary traces and replay them batched (bit-identical output)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,7 +80,7 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no experiment given; try 'pvsim list'")
 	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Parallel: *parallel, Compile: *compile}
 	if *verbose {
 		opts.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}

@@ -87,6 +87,55 @@ func TestRecordDeterministic(t *testing.T) {
 	}
 }
 
+// TestCompileAndInspect exercises the PVA2 path end to end: compile from a
+// generator, compile by transcoding a recording, and inspect both — the
+// transcoded trace must summarize identically to its source recording.
+func TestCompileAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	pva := filepath.Join(dir, "t.pva")
+	pvc := filepath.Join(dir, "t.pvc")
+	trans := filepath.Join(dir, "trans.pvc")
+
+	var out bytes.Buffer
+	if err := run([]string{"-record", "-workload", "Qry1", "-n", "5000", "-o", pva}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-compile", "-workload", "Qry1", "-n", "5000", "-chunk", "1024", "-o", pvc}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "5 chunks of 1024") {
+		t.Errorf("compile output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-compile", "-from", pva, "-o", trans, "-n", "999"}, &out); err != nil {
+		t.Fatal(err) // -n must be ignored when transcoding: the recording sets the length
+	}
+
+	inspect := func(file string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run([]string{"-inspect", file}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	src, compiled, transcoded := inspect(pva), inspect(pvc), inspect(trans)
+	for name, s := range map[string]string{"compiled": compiled, "transcoded": transcoded} {
+		if !strings.Contains(s, "PVA2 compiled") {
+			t.Errorf("%s inspect does not name the format:\n%s", name, s)
+		}
+		if !strings.Contains(s, "accesses:        5000") {
+			t.Errorf("%s inspect summary:\n%s", name, s)
+		}
+	}
+	// Same stream, same statistics: strip the format line and compare.
+	strip := func(s string) string { return s[strings.Index(s, "accesses:"):] }
+	if strip(src) != strip(compiled) || strip(compiled) != strip(transcoded) {
+		t.Fatalf("summaries diverge across formats:\n--- pva ---\n%s--- pvc ---\n%s--- trans ---\n%s", src, compiled, transcoded)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{}, &out); err == nil {

@@ -93,3 +93,41 @@ func TestStoreRollingEviction(t *testing.T) {
 		t.Fatalf("unbounded store holds %d, want 3", n)
 	}
 }
+
+// TestStoreEvictionEqualMtimeDeterministic pins the eviction tie-break:
+// when stored results share a modification time — common on filesystems
+// with coarse timestamps — eviction falls back to the file name, so which
+// result goes never depends on insertion or directory-listing order.
+func TestStoreEvictionEqualMtimeDeterministic(t *testing.T) {
+	for _, order := range [][]string{
+		{"aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb"},
+		{"bbbbbbbbbbbbbbbb", "aaaaaaaaaaaaaaaa"},
+	} {
+		dir := t.TempDir()
+		st, err := NewStore(dir, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		when := time.Now().Add(-time.Hour)
+		for _, id := range order {
+			if err := st.Put(id, []byte(id)); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Chtimes(filepath.Join(dir, id+".json"), when, when); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Put("cccccccccccccccc", []byte("c")); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := st.Get("aaaaaaaaaaaaaaaa"); ok {
+			t.Errorf("insert order %v: lexically-first equal-mtime result survived eviction", order)
+		}
+		if _, ok := st.Get("bbbbbbbbbbbbbbbb"); !ok {
+			t.Errorf("insert order %v: lexically-later equal-mtime result evicted", order)
+		}
+		if _, ok := st.Get("cccccccccccccccc"); !ok {
+			t.Errorf("insert order %v: newest result evicted", order)
+		}
+	}
+}

@@ -132,9 +132,7 @@ func Run(cfg Config) Result {
 // the measurement loop itself allocates nothing.
 func (sys *System) Run() Result {
 	cfg := sys.cfg
-	for i := 0; i < cfg.Warmup; i++ {
-		sys.StepAll()
-	}
+	sys.StepAllN(cfg.Warmup)
 	sys.ResetStats()
 
 	n := sys.Hier.Config().Cores
@@ -151,9 +149,7 @@ func (sys *System) Run() Result {
 	copy(sys.snapPrev, sys.snapStart)
 	windowIPC := make([]float64, 0, windows)
 	for w := 0; w < windows; w++ {
-		for i := 0; i < perWindow; i++ {
-			sys.StepAll()
-		}
+		sys.StepAllN(perWindow)
 		if cfg.Timing {
 			snapshotsInto(sys, sys.snapCur)
 			var instr, cyc float64

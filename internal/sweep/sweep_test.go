@@ -462,3 +462,30 @@ func TestSweepRerunIdentical(t *testing.T) {
 		t.Fatalf("pooled re-run diverges:\n--- first ---\n%s\n--- second ---\n%s", a, b)
 	}
 }
+
+// TestSweepCompileByteIdentical pins the compiled-trace pipeline at the
+// sweep level: the full test grid — workloads, mixes, a phased mix, every
+// spec — run under Options.Compile must render byte-identical JSON to the
+// generator-path run.
+func TestSweepCompileByteIdentical(t *testing.T) {
+	g := testGrid()
+	base, err := New(Options{Parallel: 2}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := New(Options{Parallel: 2, Compile: true}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := comp.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bj, cj) {
+		t.Fatalf("compiled sweep diverges from generator sweep:\n%d vs %d bytes", len(bj), len(cj))
+	}
+}

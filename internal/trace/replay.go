@@ -17,6 +17,26 @@ type Stream interface {
 	Next() Access
 }
 
+// BatchReader is implemented by streams that can produce many accesses per
+// call. The batched step pipeline (sim.System) fills one reusable batch per
+// core through it, amortizing the per-access interface dispatch that a
+// Next-per-access loop pays; CompiledReplayer additionally amortizes its
+// chunk-decode state across the batch.
+type BatchReader interface {
+	// ReadBatch fills dst from the stream and returns how many accesses it
+	// wrote; a short count means the stream is exhausted. It must allocate
+	// nothing.
+	ReadBatch(dst []Access) int
+}
+
+// Reader is a finite access stream with explicit end-of-stream errors —
+// what trace inspection tools consume. Replayer and CompiledReplayer both
+// implement it.
+type Reader interface {
+	ReadNext() (Access, error)
+	Remaining() uint64
+}
+
 // Trace file format (little-endian):
 //
 //	magic   [4]byte "PVA1"
@@ -33,8 +53,13 @@ const flagWrite = 1
 func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// Record writes n accesses from s to w.
+// Record writes n accesses from s to w. A negative n is an error: the
+// count header is unsigned, so letting it through would silently promise
+// ~2^64 records to every future reader of the file.
 func Record(s Stream, n int, w io.Writer) error {
+	if n < 0 {
+		return fmt.Errorf("trace: record: negative access count %d", n)
+	}
 	bw := bufio.NewWriter(w)
 	hdr := make([]byte, 12)
 	copy(hdr, traceMagic)
@@ -69,10 +94,11 @@ func Record(s Stream, n int, w io.Writer) error {
 	return bw.Flush()
 }
 
-// Replayer re-plays a recorded trace; it implements Stream. When the
-// recording is exhausted it rewinds is not possible (the reader is
-// sequential), so Next panics past the end — callers know the length from
-// Len.
+// Replayer re-plays a recorded trace; it implements Stream. Rewinding is
+// not possible (the reader is sequential), so when the recording is
+// exhausted Next panics — callers know the length from Len. For a
+// rewindable, batch-decodable form, compile the trace instead (Compile /
+// CompiledReplayer).
 type Replayer struct {
 	r        *bufio.Reader
 	total    uint64
@@ -146,8 +172,8 @@ type Summary struct {
 	Regions        int // distinct 2KB regions
 }
 
-// Summarize scans a whole replayer.
-func Summarize(p *Replayer) (Summary, error) {
+// Summarize scans a whole trace reader (recorded or compiled).
+func Summarize(p Reader) (Summary, error) {
 	blocks := make(map[uint64]struct{})
 	pcs := make(map[uint64]struct{})
 	regions := make(map[uint64]struct{})
