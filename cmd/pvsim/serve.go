@@ -33,6 +33,7 @@ func runServe(args []string, stdout io.Writer) error {
 	dataDir := fs.String("data-dir", "", "persistence dir: finished results + queue state survive restarts (empty = memory only)")
 	maxStored := fs.Int("max-stored", 0, "max results retained on disk (0 = default 256, negative = unbounded)")
 	rate := fs.Float64("rate", 0, "max sweep starts per second (0 = unlimited)")
+	coreParallel := fs.Bool("core-parallel", false, "parallelize each job across its simulated cores with a deterministic ordered commit (bit-identical output)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight sweeps")
 	verbose := fs.Bool("v", false, "log per-run progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -43,7 +44,7 @@ func runServe(args []string, stdout io.Writer) error {
 	}
 
 	opts := service.Options{
-		Engine:     sweep.Options{Parallel: *parallel, MaxSystems: *maxSystems},
+		Engine:     sweep.Options{Parallel: *parallel, MaxSystems: *maxSystems, CoreParallel: *coreParallel},
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		DataDir:    *dataDir,

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"pvsim/internal/sweep"
@@ -120,23 +121,26 @@ func (q *Queue) Len() int {
 // if it is not queued — the "you are Nth in line" the status endpoint
 // shows.
 func (q *Queue) Position(id string) int {
+	if pos, ok := q.Positions()[id]; ok {
+		return pos
+	}
+	return -1
+}
+
+// Positions ranks every queued sweep in one sort pass: id -> 0-based
+// place in drain order. It exists so the status and list endpoints pay
+// O(n log n) once per request instead of a per-id counting scan under
+// the queue mutex — the scan was quadratic across a poll of the whole
+// queue, and it ran with Push/Pop blocked.
+func (q *Queue) Positions() map[string]int {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	var target *Pending
-	for i := range q.items {
-		if q.items[i].ID == id {
-			target = &q.items[i]
-			break
-		}
-	}
-	if target == nil {
-		return -1
-	}
-	pos := 0
-	for i := range q.items {
-		if q.items[i].ID != id && q.items[i].before(*target) {
-			pos++
-		}
+	items := make([]Pending, len(q.items))
+	copy(items, q.items)
+	q.mu.Unlock()
+	sortPending(items)
+	pos := make(map[string]int, len(items))
+	for i, p := range items {
+		pos[p.ID] = i
 	}
 	return pos
 }
@@ -161,14 +165,10 @@ func (q *Queue) Snapshot() []Pending {
 	return out
 }
 
-// sortPending orders items in drain order (insertion sort: queues are
-// bounded small).
+// sortPending orders items in drain order. before is a total order
+// (seqs are unique), so an unstable sort is deterministic here.
 func sortPending(items []Pending) {
-	for i := 1; i < len(items); i++ {
-		for j := i; j > 0 && items[j].before(items[j-1]); j-- {
-			items[j], items[j-1] = items[j-1], items[j]
-		}
-	}
+	sort.Slice(items, func(i, j int) bool { return items[i].before(items[j]) })
 }
 
 // Save writes the queued sweeps to w as deterministic JSON (drain order),

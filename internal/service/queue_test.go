@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 
 	"pvsim/internal/sweep"
@@ -113,5 +114,56 @@ func TestQueueSaveLoadRoundTrip(t *testing.T) {
 	// A mangled file errors instead of silently dropping work.
 	if _, err := LoadPending(bytes.NewReader([]byte(`[{"id":"x","bogus":1}]`))); err == nil {
 		t.Fatal("LoadPending accepted unknown fields")
+	}
+}
+
+// TestQueuePositionsMatchDrainOrder is the teeth behind the one-pass
+// ranking: under mixed priorities and interleaved seqs, the position map
+// must agree exactly with the order Pop actually drains the queue.
+func TestQueuePositionsMatchDrainOrder(t *testing.T) {
+	q := NewQueue(64)
+	prios := []int{0, 5, -3, 5, 0, 9, 2, 2, -3, 7}
+	for i, prio := range prios {
+		if err := q.Push(pend(fmt.Sprintf("s%d", i), uint64(i), prio)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	positions := q.Positions()
+	if len(positions) != len(prios) {
+		t.Fatalf("Positions ranked %d items, want %d", len(positions), len(prios))
+	}
+	for id, pos := range positions {
+		if got := q.Position(id); got != pos {
+			t.Errorf("Position(%s) = %d, Positions map says %d", id, got, pos)
+		}
+	}
+	for i := 0; i < len(prios); i++ {
+		p, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue dry after %d pops", i)
+		}
+		if positions[p.ID] != i {
+			t.Fatalf("pop %d drained %s, but its ranked position was %d", i, p.ID, positions[p.ID])
+		}
+	}
+}
+
+// BenchmarkQueuePositions measures the ranking pass the status and list
+// endpoints pay per request, at a full default-depth-sized queue of mixed
+// priorities (the old per-id counting scan was quadratic across a poll of
+// every queued sweep).
+func BenchmarkQueuePositions(b *testing.B) {
+	const n = 1024
+	q := NewQueue(n)
+	for i := 0; i < n; i++ {
+		if err := q.Push(pend(fmt.Sprintf("s%d", i), uint64(i), i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := len(q.Positions()); got != n {
+			b.Fatalf("ranked %d items, want %d", got, n)
+		}
 	}
 }

@@ -546,7 +546,16 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	// Submission order, so operators see queue/arrival order — not hash
-	// order.
+	// order. Queue positions come from one ranking pass, not a per-sweep
+	// scan.
+	positions := s.queue.Positions()
+	for i := range out {
+		if out[i].Status == "queued" {
+			if pos, ok := positions[out[i].ID]; ok {
+				out[i].Position = pos
+			}
+		}
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	writeJSON(w, http.StatusOK, map[string]interface{}{"sweeps": out})
 }

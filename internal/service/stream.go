@@ -157,8 +157,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // streamFramed writes the framed-JSON stream: header, row chunks, footer.
+// Write errors (a disconnected client, typically) end the stream at once:
+// a blocked feed would otherwise hold the handler — and its goroutine —
+// until the sweep finished, writing rows nobody reads.
 func (s *Server) streamFramed(w http.ResponseWriter, flush func(), f *feed, r *http.Request) {
-	w.Write(f.header)
+	if _, err := w.Write(f.header); err != nil {
+		return
+	}
 	flush()
 	i := 0
 	for {
@@ -170,7 +175,9 @@ func (s *Server) streamFramed(w http.ResponseWriter, flush func(), f *feed, r *h
 				if err != nil {
 					return
 				}
-				w.Write(chunk)
+				if _, err := w.Write(chunk); err != nil {
+					return
+				}
 				i++
 			}
 			flush()
@@ -191,6 +198,7 @@ func (s *Server) streamFramed(w http.ResponseWriter, flush func(), f *feed, r *h
 }
 
 // streamNDJSON writes one compact row per line plus a final status line.
+// Like streamFramed, a write error ends the stream immediately.
 func (s *Server) streamNDJSON(w http.ResponseWriter, flush func(), f *feed, id string, r *http.Request) {
 	i := 0
 	for {
@@ -202,7 +210,9 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, flush func(), f *feed, id s
 				if err != nil {
 					return
 				}
-				w.Write(line)
+				if _, err := w.Write(line); err != nil {
+					return
+				}
 				i++
 			}
 			flush()
@@ -225,7 +235,8 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, flush func(), f *feed, id s
 }
 
 // streamSSE writes Server-Sent Events: one `row` event per row, then a
-// terminal `done` or `error` event.
+// terminal `done` or `error` event. Like streamFramed, a write error ends
+// the stream immediately.
 func (s *Server) streamSSE(w http.ResponseWriter, flush func(), f *feed, id string, r *http.Request) {
 	i := 0
 	for {
@@ -237,7 +248,10 @@ func (s *Server) streamSSE(w http.ResponseWriter, flush func(), f *feed, id stri
 				if err != nil {
 					return
 				}
-				fmt.Fprintf(w, "event: row\ndata: %s\n", line) // line carries its own \n
+				// line carries its own \n
+				if _, err := fmt.Fprintf(w, "event: row\ndata: %s\n", line); err != nil {
+					return
+				}
 				i++
 			}
 			flush()

@@ -70,6 +70,22 @@ type System struct {
 	// reusable per-core decode buffers of the batched step loop.
 	compiled []*trace.CompiledReplayer
 	batch    [][]trace.Access
+
+	// coreParallel is the effective CoreParallel switch: the config asked
+	// for it and the wiring is eligible (parallelEligible); StepAllN then
+	// dispatches to the two-phase parallel stepper. backends holds each
+	// core's routed PVProxy backend (nil entries without a predictor), fx
+	// the per-core deferred-effect logs, and sched the reusable
+	// remote-invalidation schedule of the current batch.
+	coreParallel bool
+	backends     []*routedBackend
+	fx           []*memsys.Effects
+	sched        []writeEvent
+
+	// pipeSched/pipeFault are the model checker's hooks into the parallel
+	// stepper (SetPipelineSched); nil/empty in production runs.
+	pipeSched PipelineSched
+	pipeFault string
 }
 
 // prefetchSink routes one core's predictions into the hierarchy and the
@@ -125,6 +141,7 @@ func NewSystem(cfg Config) *System {
 		snapStart: make([]cpu.Snapshot, n),
 		snapPrev:  make([]cpu.Snapshot, n),
 		snapCur:   make([]cpu.Snapshot, n),
+		backends:  make([]*routedBackend, n),
 	}
 	if cfg.Cost.Enabled {
 		params := cfg.Cost.Params
@@ -174,6 +191,11 @@ func NewSystem(cfg Config) *System {
 			continue
 		}
 
+		// The routed backend is a plain passthrough to the hierarchy in
+		// serial operation; the parallel local phase points its fx at the
+		// core's effect log to defer PVProxy traffic (see parallel.go).
+		rb := &routedBackend{h: sys.Hier}
+		sys.backends[c] = rb
 		env := pv.Env{
 			Core:         c,
 			Cores:        n,
@@ -182,7 +204,7 @@ func NewSystem(cfg Config) *System {
 			L1BlockBytes: hcfg.L1D.BlockBytes,
 			L2BlockBytes: hcfg.L2.BlockBytes,
 			Start:        pv.TableStart(c),
-			Backend:      pvcore.HierarchyBackend{H: sys.Hier},
+			Backend:      rb,
 			Sink:         prefetchSink{sys: sys, core: c},
 			Shared:       shared,
 		}
@@ -197,9 +219,10 @@ func NewSystem(cfg Config) *System {
 			panic(err)
 		}
 		sys.preds[c] = inst
-		if sys.tm != nil {
-			if v, ok := inst.(pv.Virtualizable); ok {
-				sys.proxyLive[c] = v.ProxyStats() // nil when dedicated
+		if v, ok := inst.(pv.Virtualizable); ok {
+			rb.stats = v.ProxyStats() // nil when dedicated
+			if sys.tm != nil {
+				sys.proxyLive[c] = v.ProxyStats()
 			}
 		}
 		c := c
@@ -234,6 +257,9 @@ func NewSystem(cfg Config) *System {
 	}
 	if cfg.Compile {
 		sys.CompileStreams(cfg.Warmup + cfg.Measure)
+	}
+	if cfg.CoreParallel {
+		sys.SetCoreParallel(true)
 	}
 	return sys
 }
@@ -279,6 +305,26 @@ func (s *System) CompileStreams(n int) bool {
 		s.batch[c] = make([]trace.Access, batchLen)
 	}
 	return true
+}
+
+// CheckStreams verifies up front that every core's compiled stream holds
+// enough accesses for the configured run (Warmup + Measure per core),
+// returning a descriptive error instead of letting StepAllN panic mid-run
+// when a stream compiled too short runs dry. Live-generator systems are
+// unbounded and always pass. RunChecked calls it before stepping; Run
+// panics on its error.
+func (s *System) CheckStreams() error {
+	if s.compiled == nil {
+		return nil
+	}
+	need := uint64(s.cfg.Warmup + s.cfg.Measure)
+	for c, rep := range s.compiled {
+		if rem := rep.Remaining(); rem < need {
+			return fmt.Errorf("sim: compiled stream for core %d holds %d accesses but the run needs %d (warmup %d + measure %d); recompile with CompileStreams(n) for n >= %d",
+				c, rem, need, s.cfg.Warmup, s.cfg.Measure, need)
+		}
+	}
+	return nil
 }
 
 // Predictor returns core c's predictor instance (nil without one). Callers
@@ -457,6 +503,10 @@ const batchLen = trace.DefaultChunkLen
 // per batch — so results are bit-identical to n StepAll calls on either
 // path (TestCompiledRunBitIdentical pins this).
 func (s *System) StepAllN(n int) {
+	if s.coreParallel {
+		s.stepAllNParallel(n)
+		return
+	}
 	if s.compiled == nil {
 		for i := 0; i < n; i++ {
 			s.StepAll()
@@ -471,7 +521,7 @@ func (s *System) StepAllN(n int) {
 		}
 		for c := 0; c < cores; c++ {
 			if got := s.compiled[c].ReadBatch(s.batch[c][:k]); got < k {
-				panic(fmt.Sprintf("sim: compiled stream for core %d ran dry %d accesses short", c, k-got))
+				panic(dryStreamError(c, k, got))
 			}
 		}
 		for i := 0; i < k; i++ {
