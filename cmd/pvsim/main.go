@@ -8,6 +8,7 @@
 //	pvsim [flags] all                  # run everything, in paper order
 //	pvsim sweep [sweep flags]          # run a spec x workload x pvcache x seed grid
 //	pvsim serve [serve flags]          # sweep service: submit/poll/fetch over HTTP
+//	pvsim shard [shard flags]          # shard worker: runs job ranges for a serve coordinator
 //	pvsim mc [mc flags]                # model-check the sweep pool and PVProxy state machine
 //
 // Flags (experiments):
@@ -60,6 +61,8 @@ func run(args []string, stdout io.Writer) error {
 			return runSweep(args[1:], stdout)
 		case "serve":
 			return runServe(args[1:], stdout)
+		case "shard":
+			return runShard(args[1:], stdout)
 		case "mc":
 			return runMC(args[1:], stdout)
 		}
@@ -122,7 +125,7 @@ func run(args []string, stdout io.Writer) error {
 			for _, e := range experiments.All() {
 				ids = append(ids, e.ID)
 			}
-		case "sweep", "serve", "mc":
+		case "sweep", "serve", "shard", "mc":
 			// Reached via `pvsim -p 4 sweep ...`: flag parsing stopped at the
 			// subcommand word, so the leading flags never reached it. Point
 			// at the right invocation instead of "unknown experiment".

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,7 +34,10 @@ func runServe(args []string, stdout io.Writer) error {
 	dataDir := fs.String("data-dir", "", "persistence dir: finished results + queue state survive restarts (empty = memory only)")
 	maxStored := fs.Int("max-stored", 0, "max results retained on disk (0 = default 256, negative = unbounded)")
 	rate := fs.Float64("rate", 0, "max sweep starts per second (0 = unlimited)")
+	compile := fs.Bool("compile", false, "pre-compile access streams into binary traces and replay them batched (bit-identical output)")
 	coreParallel := fs.Bool("core-parallel", false, "parallelize each job across its simulated cores with a deterministic ordered commit (bit-identical output)")
+	shardWorkers := fs.String("shard-workers", "", "comma-separated shard-worker URLs (pvsim shard processes) to split each sweep across")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-shard dispatch timeout before re-dispatching to another worker (0 = default 10m)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight sweeps")
 	verbose := fs.Bool("v", false, "log per-run progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -44,12 +48,20 @@ func runServe(args []string, stdout io.Writer) error {
 	}
 
 	opts := service.Options{
-		Engine:     sweep.Options{Parallel: *parallel, MaxSystems: *maxSystems, CoreParallel: *coreParallel},
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		DataDir:    *dataDir,
-		MaxStored:  *maxStored,
-		RatePerSec: *rate,
+		Engine:       sweep.Options{Parallel: *parallel, MaxSystems: *maxSystems, Compile: *compile, CoreParallel: *coreParallel},
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		DataDir:      *dataDir,
+		MaxStored:    *maxStored,
+		RatePerSec:   *rate,
+		ShardTimeout: *shardTimeout,
+	}
+	if *shardWorkers != "" {
+		for _, u := range strings.Split(*shardWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				opts.ShardWorkers = append(opts.ShardWorkers, u)
+			}
+		}
 	}
 	if *verbose {
 		opts.Log = func(f string, a ...interface{}) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
@@ -67,6 +79,11 @@ func runServe(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  DELETE /sweeps/{id}         cancel a queued or running sweep\n")
 	fmt.Fprintf(stdout, "  GET    /sweeps/{id}/result  fetch result (?format=json|text|md|csv)\n")
 	fmt.Fprintf(stdout, "  GET    /sweeps/{id}/stream  stream rows (?format=json|ndjson|sse)\n")
+	fmt.Fprintf(stdout, "  POST   /workers             register a shard worker ({\"url\": \"http://host:port\"})\n")
+	fmt.Fprintf(stdout, "  GET    /workers             list shard workers + health\n")
+	if len(opts.ShardWorkers) > 0 {
+		fmt.Fprintf(stdout, "  shard workers: %s\n", strings.Join(opts.ShardWorkers, ", "))
+	}
 	if *dataDir != "" {
 		fmt.Fprintf(stdout, "  data dir: %s (results + queue persist across restarts)\n", *dataDir)
 	}

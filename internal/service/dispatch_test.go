@@ -1,0 +1,336 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pvsim/internal/sweep"
+)
+
+func jsonDecode(b []byte, v interface{}) error { return json.Unmarshal(b, v) }
+func jsonEncode(v interface{}) ([]byte, error) { return json.Marshal(v) }
+
+// shardGrid is large enough (6 jobs, 2 baseline cells) that 3-way shard
+// plans are non-trivial.
+func shardGrid() sweep.Grid {
+	return sweep.Grid{Specs: []string{"none", "16-11a", "PV-8"}, Workloads: []string{"Apache", "Qry1"}, Seeds: []uint64{42}, Scale: testScale}
+}
+
+// startShardWorker boots one worker process stand-in: a ShardWorker on an
+// httptest listener, like `pvsim shard` without the process boundary.
+func startShardWorker(t *testing.T) (*ShardWorker, *httptest.Server) {
+	t.Helper()
+	w := NewShardWorker(sweep.Options{Parallel: 2}, nil)
+	ts := httptest.NewServer(w)
+	t.Cleanup(ts.Close)
+	return w, ts
+}
+
+func httpGetBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return b
+}
+
+// runAndFetch submits the grid, waits for completion, and returns the
+// /result and /stream (framed json) bytes.
+func runAndFetch(t *testing.T, ts *httptest.Server, g sweep.Grid) (result, stream []byte) {
+	t.Helper()
+	code, run, _ := postGrid(t, ts, g, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	pollStatus(t, ts, run.ID, "done")
+	result = httpGetBody(t, ts.URL+"/sweeps/"+run.ID+"/result")
+	stream = httpGetBody(t, ts.URL+"/sweeps/"+run.ID+"/stream")
+	return result, stream
+}
+
+// deadURL is a worker address nothing listens on: a started-then-closed
+// httptest server's URL, so connections are refused immediately.
+func deadURL(t *testing.T) string {
+	t.Helper()
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close()
+	return url
+}
+
+// TestShardedServeByteIdentical is the service-layer tentpole pin: the
+// /result and /stream bytes of a sweep sharded across 1, 2 or 3 remote
+// workers equal the unsharded server's, byte for byte — sharding changes
+// where simulations run and nothing a client can observe.
+func TestShardedServeByteIdentical(t *testing.T) {
+	g := shardGrid()
+	_, serialTS := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}})
+	wantResult, wantStream := runAndFetch(t, serialTS, g)
+
+	for _, n := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			workers := make([]*ShardWorker, n)
+			urls := make([]string, n)
+			for i := range workers {
+				w, wts := startShardWorker(t)
+				workers[i], urls[i] = w, wts.URL
+			}
+			svc, ts := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}, ShardWorkers: urls})
+			gotResult, gotStream := runAndFetch(t, ts, g)
+			if !bytes.Equal(gotResult, wantResult) {
+				t.Errorf("sharded /result differs from serial:\n--- sharded ---\n%s\n--- serial ---\n%s", gotResult, wantResult)
+			}
+			if !bytes.Equal(gotStream, wantStream) {
+				t.Errorf("sharded /stream differs from serial:\n--- sharded ---\n%s\n--- serial ---\n%s", gotStream, wantStream)
+			}
+			// The coordinator simulated nothing: every shard ran remotely.
+			if got := svc.Engine().RetainedSystems(); got != 0 {
+				t.Errorf("coordinator engine retains %d systems; shards were meant to run on the workers", got)
+			}
+			remote := 0
+			for _, w := range workers {
+				remote += w.Engine().RetainedSystems()
+			}
+			if remote == 0 {
+				t.Error("no worker engine retains systems; nothing ran remotely")
+			}
+		})
+	}
+}
+
+// TestShardedDeadWorkerRedispatch kills one of two workers before the
+// sweep starts (its URL refuses connections): the dispatcher must mark it
+// dead on the failed dispatch, re-dispatch its range to the healthy
+// worker, and still serve byte-identical output.
+func TestShardedDeadWorkerRedispatch(t *testing.T) {
+	g := shardGrid()
+	_, serialTS := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}})
+	wantResult, wantStream := runAndFetch(t, serialTS, g)
+
+	dead := deadURL(t)
+	live, liveTS := startShardWorker(t)
+	svc, ts := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}, ShardWorkers: []string{dead, liveTS.URL}})
+	gotResult, gotStream := runAndFetch(t, ts, g)
+	if !bytes.Equal(gotResult, wantResult) {
+		t.Error("result after dead-worker re-dispatch differs from serial run")
+	}
+	if !bytes.Equal(gotStream, wantStream) {
+		t.Error("stream after dead-worker re-dispatch differs from serial run")
+	}
+	if got := svc.Engine().RetainedSystems(); got != 0 {
+		t.Errorf("coordinator engine retains %d systems; the healthy worker should have absorbed the dead one's range", got)
+	}
+	if live.Engine().RetainedSystems() == 0 {
+		t.Error("live worker engine retains nothing; the sweep did not run on it")
+	}
+
+	var status struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := jsonDecode(httpGetBody(t, ts.URL+"/workers"), &status); err != nil {
+		t.Fatal(err)
+	}
+	health := map[string]bool{}
+	for _, w := range status.Workers {
+		health[w.URL] = w.Healthy
+	}
+	if health[dead] {
+		t.Errorf("dead worker %s still reported healthy", dead)
+	}
+	if !health[liveTS.URL] {
+		t.Errorf("live worker %s reported unhealthy", liveTS.URL)
+	}
+}
+
+// TestShardedAllWorkersDeadLocalFallback registers only dead workers: the
+// retry ladder exhausts them and the ranges run on the coordinator's own
+// engine, output still byte-identical.
+func TestShardedAllWorkersDeadLocalFallback(t *testing.T) {
+	g := shardGrid()
+	_, serialTS := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}})
+	wantResult, _ := runAndFetch(t, serialTS, g)
+
+	svc, ts := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}, ShardWorkers: []string{deadURL(t), deadURL(t)}})
+	gotResult, _ := runAndFetch(t, ts, g)
+	if !bytes.Equal(gotResult, wantResult) {
+		t.Error("local-fallback result differs from serial run")
+	}
+	if svc.Engine().RetainedSystems() == 0 {
+		t.Error("coordinator engine retains nothing; the fallback did not run locally")
+	}
+}
+
+// TestShardedFlakyWorkerRetry fronts a real worker with a proxy whose
+// first /shard dispatch answers 500: the dispatcher must mark the flaky
+// worker dead, re-dispatch its shard to the steady worker, and keep the
+// output byte-identical — the fault-injection pin for the retry path.
+func TestShardedFlakyWorkerRetry(t *testing.T) {
+	g := shardGrid()
+	_, serialTS := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}})
+	wantResult, wantStream := runAndFetch(t, serialTS, g)
+
+	inner := NewShardWorker(sweep.Options{Parallel: 2}, nil)
+	var failed atomic.Bool
+	flakyTS := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/shard") && failed.CompareAndSwap(false, true) {
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flakyTS.Close)
+	_, steadyTS := startShardWorker(t)
+
+	_, ts := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}, ShardWorkers: []string{flakyTS.URL, steadyTS.URL}})
+	gotResult, gotStream := runAndFetch(t, ts, g)
+	if !failed.Load() {
+		t.Fatal("fault was never injected; the test exercised nothing")
+	}
+	if !bytes.Equal(gotResult, wantResult) {
+		t.Error("result after flaky-worker retry differs from serial run")
+	}
+	if !bytes.Equal(gotStream, wantStream) {
+		t.Error("stream after flaky-worker retry differs from serial run")
+	}
+
+	var status struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := jsonDecode(httpGetBody(t, ts.URL+"/workers"), &status); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range status.Workers {
+		if w.URL == flakyTS.URL && w.Healthy {
+			t.Errorf("flaky worker %s still reported healthy after the injected fault", w.URL)
+		}
+	}
+}
+
+// TestWorkerJoin is the runtime-registration pin: a worker joining via
+// POST /workers (the `pvsim shard -join` handshake) is listed, de-duped on
+// re-join, and picks up the next sweep — which then runs remotely.
+func TestWorkerJoin(t *testing.T) {
+	worker, workerTS := startShardWorker(t)
+	svc, ts := newTestServer(t, Options{Engine: sweep.Options{Parallel: 4}})
+
+	var status struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	if err := jsonDecode(httpGetBody(t, ts.URL+"/workers"), &status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Workers) != 0 {
+		t.Fatalf("fresh coordinator lists %d workers, want 0", len(status.Workers))
+	}
+
+	join := func() int {
+		resp, err := http.Post(ts.URL+"/workers", "application/json", strings.NewReader(fmt.Sprintf("{\"url\": %q}", workerTS.URL)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := join(); code != http.StatusOK {
+		t.Fatalf("join status %d, want 200", code)
+	}
+	if code := join(); code != http.StatusOK { // idempotent re-join
+		t.Fatalf("re-join status %d, want 200", code)
+	}
+	if err := jsonDecode(httpGetBody(t, ts.URL+"/workers"), &status); err != nil {
+		t.Fatal(err)
+	}
+	if len(status.Workers) != 1 || status.Workers[0].URL != workerTS.URL || !status.Workers[0].Healthy {
+		t.Fatalf("after join+re-join, registry is %+v; want exactly one healthy %s", status.Workers, workerTS.URL)
+	}
+
+	resp, err := http.Post(ts.URL+"/workers", "application/json", strings.NewReader(`{"nope": true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad join body status %d, want 400", resp.StatusCode)
+	}
+
+	runAndFetch(t, ts, shardGrid())
+	if got := svc.Engine().RetainedSystems(); got != 0 {
+		t.Errorf("coordinator engine retains %d systems; the joined worker should have run the sweep", got)
+	}
+	if worker.Engine().RetainedSystems() == 0 {
+		t.Error("joined worker engine retains nothing; the sweep did not run on it")
+	}
+}
+
+// TestShardWorkerHandler pins the worker endpoint itself: liveness probe,
+// request validation, and a good dispatch answering the exact partial the
+// in-process engine produces.
+func TestShardWorkerHandler(t *testing.T) {
+	_, ts := startShardWorker(t)
+
+	if got := string(httpGetBody(t, ts.URL+"/healthz")); got != "ok\n" {
+		t.Errorf("healthz answered %q", got)
+	}
+
+	post := func(body string) (int, []byte) {
+		resp, err := http.Post(ts.URL+"/shard", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	if code, _ := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("garbage body status %d, want 400", code)
+	}
+	if code, _ := post(`{"grid": {"specs": ["no-such-spec"]}, "shard": {"start": 0, "end": 1}}`); code != http.StatusBadRequest {
+		t.Errorf("invalid grid status %d, want 400", code)
+	}
+
+	g := smallGrid()
+	shards, err := g.Shards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badReq, err := jsonEncode(ShardRequest{Grid: g, Shard: sweep.Shard{Start: 0, End: 999}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(string(badReq)); code != http.StatusBadRequest {
+		t.Errorf("out-of-range shard status %d (%s), want 400", code, body)
+	}
+
+	goodReq, err := jsonEncode(ShardRequest{Grid: g, Shard: shards[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(string(goodReq))
+	if code != http.StatusOK {
+		t.Fatalf("valid shard status %d: %s", code, body)
+	}
+	var p sweep.Partial
+	if err := jsonDecode(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Hash != g.Hash() || p.Start != 0 || p.End != shards[0].End || len(p.Rows) != shards[0].End {
+		t.Errorf("partial = {Hash:%s Start:%d End:%d rows:%d}, want the full range of %s", p.Hash, p.Start, p.End, len(p.Rows), g.Hash())
+	}
+}

@@ -58,6 +58,16 @@ type Options struct {
 	// RatePerSec, when positive, rate-limits sweep starts across the
 	// worker pool (a sweep begins at most every 1/RatePerSec seconds).
 	RatePerSec float64
+	// ShardWorkers lists shard-worker base URLs ("http://host:port") to
+	// split each sweep's jobs across. Workers can also join a running
+	// coordinator via POST /workers (`pvsim shard -join`). With no
+	// healthy workers registered, sweeps run in-process on the shared
+	// engine exactly as before.
+	ShardWorkers []string
+	// ShardTimeout bounds one shard dispatch round trip; 0 means
+	// DefaultShardTimeout. Past it the worker is marked dead and its
+	// range re-dispatched.
+	ShardTimeout time.Duration
 	// Log, when non-nil, receives service progress lines.
 	Log func(format string, args ...interface{})
 }
@@ -71,9 +81,12 @@ type sweepRun struct {
 	Done     int    `json:"done"`
 	Total    int    `json:"total"`
 	Error    string `json:"error,omitempty"`
-	// Position is the queue position (0 = next), only meaningful while
-	// queued; filled in on status responses.
-	Position int `json:"position,omitempty"`
+	// Position is the queue position (0 = next), filled in on status
+	// responses while the sweep is queued and absent otherwise. It is a
+	// pointer because position 0 — "you're next" — is real data:
+	// omitempty on a plain int would erase it from the JSON, making
+	// next-in-line indistinguishable from not-queued.
+	Position *int `json:"position,omitempty"`
 	// Source is "disk" when the result was restored from the store
 	// instead of simulated by this process — the restart path's
 	// observable.
@@ -96,12 +109,15 @@ type sweepRun struct {
 //	DELETE /sweeps/{id}         cancel a queued or running sweep
 //	GET    /sweeps/{id}/result  finished result (?format=json|text|md|csv)
 //	GET    /sweeps/{id}/stream  stream rows (?format=json|ndjson|sse)
+//	POST   /workers             register a shard worker ({"url": ...})
+//	GET    /workers             list registered shard workers + health
 type Server struct {
-	opts   Options
-	engine *sweep.Engine
-	queue  *Queue
-	store  *Store // nil without a data dir
-	mux    *http.ServeMux
+	opts       Options
+	engine     *sweep.Engine
+	queue      *Queue
+	store      *Store // nil without a data dir
+	dispatcher *dispatcher
+	mux        *http.ServeMux
 
 	mu     sync.Mutex
 	sweeps map[string]*sweepRun
@@ -129,12 +145,13 @@ func New(opts Options) (*Server, error) {
 		depth = DefaultQueueDepth
 	}
 	s := &Server{
-		opts:    opts,
-		engine:  sweep.New(opts.Engine),
-		queue:   NewQueue(depth),
-		mux:     http.NewServeMux(),
-		sweeps:  map[string]*sweepRun{},
-		workers: workers,
+		opts:       opts,
+		engine:     sweep.New(opts.Engine),
+		queue:      NewQueue(depth),
+		dispatcher: newDispatcher(opts.ShardWorkers, opts.ShardTimeout, opts.Log),
+		mux:        http.NewServeMux(),
+		sweeps:     map[string]*sweepRun{},
+		workers:    workers,
 	}
 	if opts.DataDir != "" {
 		store, err := NewStore(filepath.Join(opts.DataDir, "results"), opts.MaxStored)
@@ -152,6 +169,8 @@ func New(opts Options) (*Server, error) {
 	s.mux.HandleFunc("DELETE /sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /sweeps/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /sweeps/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("POST /workers", s.handleWorkers)
+	s.mux.HandleFunc("GET /workers", s.handleWorkers)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -225,22 +244,18 @@ func (q *Queue) pushForce(p Pending) {
 	q.mu.Unlock()
 }
 
-// newQueuedRun builds the tracked state for one admitted grid.
+// newQueuedRun builds the tracked state for one admitted grid. The grid
+// is expanded exactly once — Grid.Plan derives the simulation total and
+// the precomputed stream header from a single expansion — so admission
+// costs O(jobs) once, not once per derived number.
 func (s *Server) newQueuedRun(p Pending) (*sweepRun, error) {
-	if err := p.Grid.Validate(); err != nil {
-		return nil, err
-	}
-	total, err := p.Grid.TotalSims()
-	if err != nil {
-		return nil, err
-	}
-	f, err := newFeed(p.Grid)
+	plan, err := p.Grid.Plan()
 	if err != nil {
 		return nil, err
 	}
 	return &sweepRun{
 		ID: p.ID, Seq: p.Seq, Priority: p.Priority, Status: "queued",
-		Total: total, grid: p.Grid, feed: f,
+		Total: plan.TotalSims, grid: p.Grid, feed: feedFromPlan(plan),
 	}, nil
 }
 
@@ -305,13 +320,26 @@ func (s *Server) execute(p Pending) {
 	s.mu.Unlock()
 
 	s.logf("serve: sweep %s starting (%d sims)", p.ID, run.Total)
-	res, err := s.engine.RunRows(ctx, grid,
-		func(done, total int) {
-			s.mu.Lock()
-			run.Done, run.Total = done, total
-			s.mu.Unlock()
-		},
-		func(row sweep.Row) { f.append(row) })
+	progress := func(done, total int) {
+		s.mu.Lock()
+		run.Done, run.Total = done, total
+		s.mu.Unlock()
+	}
+	sink := func(row sweep.Row) { f.append(row) }
+	var res *sweep.Result
+	var err error
+	// Sharded when any worker is registered and healthy; in-process
+	// otherwise. Both paths produce byte-identical results and feed the
+	// stream in expansion order — sharding only changes where the
+	// simulations run. (A sharded run's Total counts each shard's jobs
+	// plus its own baselines, which exceeds the unsharded total when a
+	// baseline cell spans shards.)
+	if workers := s.dispatcher.healthyWorkers(); len(workers) > 0 {
+		s.logf("serve: sweep %s sharding across %d workers", p.ID, len(workers))
+		res, err = s.runSharded(ctx, grid, workers, progress, sink)
+	} else {
+		res, err = s.engine.RunRows(ctx, grid, progress, sink)
+	}
 	cancel()
 
 	var resJSON []byte
@@ -445,14 +473,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, snapshot)
 		return
 	}
-	// Admission control: bounded queue, 429 + Retry-After when full.
-	p := Pending{ID: id, Seq: s.seq, Priority: priority, Grid: g}
-	run, err := s.newQueuedRun(p)
+	s.mu.Unlock()
+
+	// Build the tracked run outside the critical section: it expands the
+	// grid (O(jobs) work), which must not block every concurrent
+	// status/list/stream request behind the service mutex.
+	run, err := s.newQueuedRun(Pending{ID: id, Priority: priority, Grid: g})
 	if err != nil {
-		s.mu.Unlock()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+
+	s.mu.Lock()
+	// Re-check the dedup: a concurrent identical submit may have been
+	// admitted while the lock was released; exactly one may win.
+	if other, known := s.sweeps[id]; known && other.Status != "cancelled" {
+		snapshot := *other
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, snapshot)
+		return
+	}
+	// Admission control: bounded queue, 429 + Retry-After when full.
+	p := Pending{ID: id, Seq: s.seq, Priority: priority, Grid: g}
+	run.Seq = p.Seq
 	if err := s.queue.Push(p); err != nil {
 		qlen := s.queue.Len()
 		s.mu.Unlock()
@@ -496,17 +539,20 @@ func (s *Server) restoreResultLocked(id string) (*sweepRun, bool) {
 		s.logf("serve: corrupt stored result %s: %v", id, err)
 		return nil, false
 	}
-	f, err := doneFeed(&res)
+	// One expansion covers both the feed header and the simulation total.
+	// The total is the same jobs+baselines count the live-run path
+	// reports (not res.Jobs, which excludes baseline runs), so Done/Total
+	// of a disk-restored sweep agrees with what the original run showed.
+	plan, err := res.Grid.Plan()
 	if err != nil {
 		s.logf("serve: stored result %s: %v", id, err)
 		return nil, false
 	}
-	total, err := res.Grid.TotalSims()
-	if err != nil {
-		total = res.Jobs
-	}
+	f := feedFromPlan(plan)
+	f.rows = res.Rows
+	f.done = true
 	run := &sweepRun{
-		ID: id, Seq: s.seq, Status: "done", Done: total, Total: total,
+		ID: id, Seq: s.seq, Status: "done", Done: plan.TotalSims, Total: plan.TotalSims,
 		Source: "disk", grid: res.Grid, result: &res, resultJSON: b, feed: f,
 	}
 	s.seq++
@@ -552,7 +598,8 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	for i := range out {
 		if out[i].Status == "queued" {
 			if pos, ok := positions[out[i].ID]; ok {
-				out[i].Position = pos
+				pos := pos
+				out[i].Position = &pos
 			}
 		}
 	}
@@ -569,7 +616,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if run.Status == "queued" {
 		if pos := s.queue.Position(id); pos >= 0 {
-			run.Position = pos
+			run.Position = &pos
 		}
 	}
 	writeJSON(w, http.StatusOK, run)

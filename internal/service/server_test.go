@@ -350,8 +350,8 @@ func TestPriorityDrainOrder(t *testing.T) {
 	}
 	// Queue position reflects drain order, not submission order.
 	run := pollStatus(t, ts, grids["low"].Hash(), "queued")
-	if run.Position != 2 {
-		t.Errorf("low-priority sweep at queue position %d, want 2", run.Position)
+	if run.Position == nil || *run.Position != 2 {
+		t.Errorf("low-priority sweep at queue position %v, want 2", run.Position)
 	}
 }
 

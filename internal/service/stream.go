@@ -34,16 +34,11 @@ func newFeed(g sweep.Grid) (*feed, error) {
 	return &feed{jobs: jobs, header: header}, nil
 }
 
-// doneFeed builds an already-complete feed from a finished result — the
-// replay path for sweeps restored from the disk store.
-func doneFeed(res *sweep.Result) (*feed, error) {
-	f, err := newFeed(res.Grid)
-	if err != nil {
-		return nil, err
-	}
-	f.rows = res.Rows
-	f.done = true
-	return f, nil
+// feedFromPlan builds a feed from an already-expanded admission plan —
+// the expansion-free path the server uses so a submit expands its grid
+// exactly once.
+func feedFromPlan(p sweep.Plan) *feed {
+	return &feed{jobs: p.Jobs, header: p.Header}
 }
 
 // append publishes one row (the engine delivers them in expansion order)
@@ -90,6 +85,23 @@ func (f *feed) next(from int) (rows []sweep.Row, done bool, errMsg string, wait 
 	w := make(chan struct{})
 	f.waiters = append(f.waiters, w)
 	return nil, false, "", w
+}
+
+// forget removes a wait channel a subscriber abandoned (its client
+// disconnected before the next wake). Without it, every timed-out poll
+// of a long-queued sweep would leave its channel in waiters until the
+// next append/finish — which for a sweep parked deep in the queue may be
+// arbitrarily far away — growing the slice without bound. Forgetting
+// after a wake already cleared the list is a harmless no-op.
+func (f *feed) forget(w <-chan struct{}) {
+	f.mu.Lock()
+	for i, x := range f.waiters {
+		if x == w {
+			f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+			break
+		}
+	}
+	f.mu.Unlock()
 }
 
 // handleStream serves GET /sweeps/{id}/stream: partial results as they
@@ -191,6 +203,7 @@ func (s *Server) streamFramed(w http.ResponseWriter, flush func(), f *feed, r *h
 			select {
 			case <-wait:
 			case <-r.Context().Done():
+				f.forget(wait)
 				return
 			}
 		}
@@ -228,6 +241,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, flush func(), f *feed, id s
 			select {
 			case <-wait:
 			case <-r.Context().Done():
+				f.forget(wait)
 				return
 			}
 		}
@@ -267,6 +281,7 @@ func (s *Server) streamSSE(w http.ResponseWriter, flush func(), f *feed, id stri
 			select {
 			case <-wait:
 			case <-r.Context().Done():
+				f.forget(wait)
 				return
 			}
 		}

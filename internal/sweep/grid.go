@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"pvsim/internal/experiments"
 	"pvsim/internal/sim"
@@ -192,9 +193,21 @@ func (g Grid) Hash() string {
 	return hex.EncodeToString(sum[:8])
 }
 
+// jobExpansions counts Grid.Jobs calls, process-wide. Expansion is the
+// O(grid) step every derived quantity (totals, headers, shard plans)
+// funnels through, so tests pin how many expansions a code path performs
+// — the service must admit a submitted grid with exactly one.
+var jobExpansions atomic.Int64
+
+// JobExpansions reports the process-wide Grid.Jobs call count. It exists
+// for tests that pin expansion work (compare before/after deltas); it is
+// monotonic and never reset.
+func JobExpansions() int64 { return jobExpansions.Load() }
+
 // Jobs expands the grid into jobs in deterministic order. The grid must
 // Validate.
 func (g Grid) Jobs() ([]Job, error) {
+	jobExpansions.Add(1)
 	g = g.normalized()
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -323,4 +336,34 @@ func (g Grid) TotalSims() (int, error) {
 	}
 	cfgs, _ := g.baselineCells(jobs)
 	return len(jobs) + len(cfgs), nil
+}
+
+// Plan is the expand-once admission summary of a grid: everything a
+// service needs to track a submitted sweep — the precomputed stream
+// header, the job (row) count, and the unsharded total simulation count —
+// derived from a single expansion. Grid.Plan exists so admitting a grid
+// costs one O(jobs) expansion instead of one per derived number.
+type Plan struct {
+	// Header is the framed-JSON stream's opening chunk (StreamHeader).
+	Header []byte
+	// Jobs is the row count the finished sweep will carry.
+	Jobs int
+	// TotalSims is Jobs plus one matched baseline per distinct
+	// (seed, scenario) cell — TotalSims() without the extra expansion.
+	TotalSims int
+}
+
+// Plan expands the grid once and derives the admission summary.
+func (g Grid) Plan() (Plan, error) {
+	g = g.normalized()
+	jobs, err := g.Jobs()
+	if err != nil {
+		return Plan{}, err
+	}
+	header, err := streamHeaderForJobs(g, len(jobs))
+	if err != nil {
+		return Plan{}, err
+	}
+	cfgs, _ := g.baselineCells(jobs)
+	return Plan{Header: header, Jobs: len(jobs), TotalSims: len(jobs) + len(cfgs)}, nil
 }

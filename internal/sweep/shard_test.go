@@ -1,0 +1,223 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestShardsPlan pins the planner: contiguous balanced expansion-order
+// ranges tiling the job list exactly, each with its baseline cells in
+// first-use order, and the plan a pure function of (grid, n).
+func TestShardsPlan(t *testing.T) {
+	g := testGrid() // 2 specs x (2 workloads + 2 mixes) x 2 pvcache... see sweep_test.go
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, len(jobs), len(jobs) + 7} {
+		shards, err := g.Shards(n)
+		if err != nil {
+			t.Fatalf("Shards(%d): %v", n, err)
+		}
+		wantShards := n
+		if wantShards > len(jobs) {
+			wantShards = len(jobs)
+		}
+		if len(shards) != wantShards {
+			t.Fatalf("Shards(%d) planned %d shards, want %d", n, len(shards), wantShards)
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Index != i {
+				t.Errorf("Shards(%d)[%d].Index = %d", n, i, sh.Index)
+			}
+			if sh.Start != next || sh.End <= sh.Start {
+				t.Fatalf("Shards(%d)[%d] = [%d,%d), want contiguous non-empty from %d", n, i, sh.Start, sh.End, next)
+			}
+			// Balanced: no shard more than one job larger than another.
+			if size := sh.End - sh.Start; size > len(jobs)/wantShards+1 {
+				t.Errorf("Shards(%d)[%d] has %d jobs; unbalanced", n, i, size)
+			}
+			// Baselines: exactly the distinct cells of the range.
+			cells := map[BaselineRef]bool{}
+			for _, j := range jobs[sh.Start:sh.End] {
+				cells[BaselineRef{Seed: j.Seed, Scenario: j.Scenario}] = true
+			}
+			if len(cells) != len(sh.Baselines) {
+				t.Errorf("Shards(%d)[%d] lists %d baselines, range has %d cells", n, i, len(sh.Baselines), len(cells))
+			}
+			for _, b := range sh.Baselines {
+				if !cells[b] {
+					t.Errorf("Shards(%d)[%d] lists baseline %+v not in its range", n, i, b)
+				}
+			}
+			if sh.Sims() != (sh.End-sh.Start)+len(sh.Baselines) {
+				t.Errorf("Shards(%d)[%d].Sims() = %d", n, i, sh.Sims())
+			}
+			next = sh.End
+		}
+		if next != len(jobs) {
+			t.Fatalf("Shards(%d) covers %d of %d jobs", n, next, len(jobs))
+		}
+	}
+	if _, err := g.Shards(0); err == nil {
+		t.Error("Shards(0) accepted, want error")
+	}
+	// A single shard's simulation count equals the unsharded total.
+	one, err := g.Shards(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := g.TotalSims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0].Sims() != total {
+		t.Errorf("Shards(1) plans %d sims, TotalSims is %d", one[0].Sims(), total)
+	}
+}
+
+// TestShardedRunByteIdentical is the tentpole pin at the sweep layer:
+// an unsharded serial run, a 1-shard run, and an N-shard run (partials
+// merged out of order) must produce byte-identical Result JSON.
+func TestShardedRunByteIdentical(t *testing.T) {
+	g := testGrid()
+	serial, err := New(Options{Parallel: 1}).Run(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 3} {
+		e := New(Options{Parallel: 4})
+		shards, err := g.Shards(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]Partial, len(shards))
+		for i, sh := range shards {
+			p, err := e.RunShard(context.Background(), g, sh, nil)
+			if err != nil {
+				t.Fatalf("shard %d: %v", i, err)
+			}
+			// Reverse arrival order: merging must not depend on it.
+			parts[len(shards)-1-i] = *p
+		}
+		merged, err := g.MergePartials(parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := merged.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: merged sharded result differs from serial run:\n--- merged ---\n%s\n--- serial ---\n%s", n, got, want)
+		}
+	}
+}
+
+// TestRunShardProgress pins the shard's own simulation accounting: the
+// progress callback counts the shard's jobs plus its baselines, ending
+// exactly at Shard.Sims().
+func TestRunShardProgress(t *testing.T) {
+	g := Grid{Specs: []string{"none", "16-11a"}, Workloads: []string{"Apache", "Qry1"}, Seeds: []uint64{42}, Scale: testScale}
+	shards, err := g.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Parallel: 2})
+	for _, sh := range shards {
+		var last, calls int
+		if _, err := e.RunShard(context.Background(), g, sh, func(done, total int) {
+			calls++
+			if done != calls || total != sh.Sims() {
+				t.Errorf("shard %d progress (%d,%d), want (%d,%d)", sh.Index, done, total, calls, sh.Sims())
+			}
+			last = done
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if last != sh.Sims() {
+			t.Errorf("shard %d progress ended at %d, want %d", sh.Index, last, sh.Sims())
+		}
+	}
+}
+
+// TestMergePartialsValidation pins the merge's tiling checks: gaps,
+// overlaps, foreign hashes, short rows and misnumbered rows all error
+// instead of assembling a silently wrong result.
+func TestMergePartialsValidation(t *testing.T) {
+	g := Grid{Specs: []string{"none", "16-11a"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	e := New(Options{Parallel: 2})
+	shards, err := g.Shards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []Partial
+	for _, sh := range shards {
+		p, err := e.RunShard(context.Background(), g, sh, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, *p)
+	}
+	if _, err := g.MergePartials(parts); err != nil {
+		t.Fatalf("valid partials rejected: %v", err)
+	}
+
+	corrupt := func(name string, mutate func([]Partial) []Partial) {
+		cp := make([]Partial, len(parts))
+		for i := range parts {
+			cp[i] = parts[i]
+			cp[i].Rows = append([]Row(nil), parts[i].Rows...)
+		}
+		if _, err := g.MergePartials(mutate(cp)); err == nil {
+			t.Errorf("%s: merge accepted, want error", name)
+		}
+	}
+	corrupt("gap", func(ps []Partial) []Partial { return ps[:1] })
+	corrupt("overlap", func(ps []Partial) []Partial { return append(ps, ps[len(ps)-1]) })
+	corrupt("foreign hash", func(ps []Partial) []Partial { ps[0].Hash = "feedfacefeedface"; return ps })
+	corrupt("short rows", func(ps []Partial) []Partial { ps[0].Rows = ps[0].Rows[:0]; return ps })
+	corrupt("misnumbered row", func(ps []Partial) []Partial { ps[0].Rows[0].Job = 99; return ps })
+}
+
+// TestRunShardBadRange pins range validation: a shard outside the grid's
+// jobs errors without simulating.
+func TestRunShardBadRange(t *testing.T) {
+	g := Grid{Specs: []string{"none"}, Workloads: []string{"Apache"}, Seeds: []uint64{42}, Scale: testScale}
+	e := New(Options{Parallel: 1})
+	for _, sh := range []Shard{{Start: -1, End: 1}, {Start: 0, End: 99}, {Start: 1, End: 1}} {
+		if _, err := e.RunShard(context.Background(), g, sh, nil); err == nil {
+			t.Errorf("RunShard accepted range [%d,%d)", sh.Start, sh.End)
+		}
+	}
+}
+
+// TestPlanMatchesPieces pins Grid.Plan against the quantities it
+// replaces: StreamHeader's bytes and job count, and TotalSims.
+func TestPlanMatchesPieces(t *testing.T) {
+	g := testGrid()
+	plan, err := g.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header, jobs, err := StreamHeader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := g.TotalSims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plan.Header, header) {
+		t.Error("Plan.Header differs from StreamHeader")
+	}
+	if plan.Jobs != jobs || plan.TotalSims != total {
+		t.Errorf("Plan = {Jobs:%d TotalSims:%d}, want {%d %d}", plan.Jobs, plan.TotalSims, jobs, total)
+	}
+}

@@ -30,20 +30,28 @@ func StreamHeader(g Grid) (header []byte, jobs int, err error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	header, err = streamHeaderForJobs(g, len(js))
+	return header, len(js), err
+}
+
+// streamHeaderForJobs renders the header chunk for a normalized grid
+// whose job count the caller already expanded — the expansion-free core
+// of StreamHeader, shared with Grid.Plan.
+func streamHeaderForJobs(g Grid, jobs int) ([]byte, error) {
 	// Encode the full Result skeleton with zero rows, then cut it at the
 	// rows array: because Rows is the struct's last field, everything
 	// before the final `"rows": []` is byte-identical to the populated
 	// encoding. (Grid carries no field or name that can contain the
 	// literal `"rows": [`, so the last occurrence is the rows array.)
-	empty, err := (&Result{Grid: g, Hash: g.Hash(), Jobs: len(js), Rows: []Row{}}).JSON()
+	empty, err := (&Result{Grid: g, Hash: g.Hash(), Jobs: jobs, Rows: []Row{}}).JSON()
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	i := bytes.LastIndex(empty, rowsArrayOpen)
 	if i < 0 {
-		return nil, 0, fmt.Errorf("sweep: result encoding lost its rows array")
+		return nil, fmt.Errorf("sweep: result encoding lost its rows array")
 	}
-	return empty[:i+len(rowsArrayOpen)], len(js), nil
+	return empty[:i+len(rowsArrayOpen)], nil
 }
 
 // StreamRow renders row number i (0-based, in expansion order) as one
